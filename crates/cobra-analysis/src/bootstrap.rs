@@ -1,0 +1,103 @@
+//! Bootstrap confidence intervals for fitted exponents.
+//!
+//! Experiment conclusions like "the fitted exponent on the lollipop is
+//! below 2.75" need error bars; the nonparametric bootstrap over data
+//! points provides them without distributional assumptions.
+
+use crate::fit::power_law_fit;
+use rand::{Rng, RngExt};
+
+/// Bootstrap percentile confidence interval for the power-law exponent of
+/// `(xs, ys)`: resamples point pairs with replacement `resamples` times
+/// and returns `(lo, hi)` at the given two-sided `confidence` (e.g. 0.95).
+///
+/// Resamples that collapse to a single distinct x (unfittable) are
+/// skipped; panics if every resample collapses (pathological input).
+pub fn bootstrap_exponent_ci<R: Rng>(
+    xs: &[f64],
+    ys: &[f64],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 3, "need at least 3 points to bootstrap a fit");
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
+    let n = xs.len();
+    let mut exps = Vec::with_capacity(resamples);
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = rng.random_range(0..n);
+            bx[i] = xs[j];
+            by[i] = ys[j];
+        }
+        // Skip degenerate resamples (all x identical).
+        let first = bx[0];
+        if bx.iter().all(|&x| x == first) {
+            continue;
+        }
+        exps.push(power_law_fit(&bx, &by).slope);
+    }
+    assert!(!exps.is_empty(), "all bootstrap resamples were degenerate");
+    exps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((exps.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((exps.len() as f64) * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(exps.len() - 1);
+    (exps[lo_idx], exps[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_power_law_gives_tight_ci() {
+        let xs: Vec<f64> = (1..=15).map(|i| (i * 10) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x.powf(1.3)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (lo, hi) = bootstrap_exponent_ci(&xs, &ys, 500, 0.95, &mut rng);
+        assert!(lo <= 1.3 + 1e-9 && hi >= 1.3 - 1e-9, "CI [{lo}, {hi}]");
+        assert!(hi - lo < 1e-6, "noiseless data should give a degenerate CI");
+    }
+
+    #[test]
+    fn noisy_power_law_ci_contains_truth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (1..=30).map(|i| (i * 20) as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x.powf(2.0) * (1.0 + 0.1 * (rng.random::<f64>() - 0.5)))
+            .collect();
+        let (lo, hi) = bootstrap_exponent_ci(&xs, &ys, 800, 0.95, &mut rng);
+        assert!(lo < 2.0 && hi > 2.0, "CI [{lo}, {hi}] must contain 2.0");
+        assert!(hi - lo < 0.2, "CI [{lo}, {hi}] too wide for 10% noise");
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| x.powf(1.0) * (1.0 + 0.2 * (rng.random::<f64>() - 0.5)))
+            .collect();
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let (lo68, hi68) = bootstrap_exponent_ci(&xs, &ys, 600, 0.68, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let (lo99, hi99) = bootstrap_exponent_ci(&xs, &ys, 600, 0.99, &mut rng2);
+        assert!(hi99 - lo99 >= hi68 - lo68);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 points")]
+    fn rejects_tiny_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        bootstrap_exponent_ci(&[1.0, 2.0], &[1.0, 2.0], 10, 0.9, &mut rng);
+    }
+}

@@ -1,0 +1,161 @@
+//! Growth-shape classification: which canonical asymptotic shape best
+//! explains a measured curve?
+//!
+//! The paper's bounds span `log² n` (expanders), `n` (grids),
+//! `n log n` (conjectured general bound / star lower bound), and
+//! `n^{11/4} log n` (general graphs). Classification picks the candidate
+//! with the flattest, best-correlated normalized ratio.
+
+use crate::fit::linear_fit;
+
+/// Canonical growth shapes used across the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GrowthShape {
+    /// `log n`
+    Log,
+    /// `log² n`
+    LogSquared,
+    /// `√n`
+    Sqrt,
+    /// `n`
+    Linear,
+    /// `n log n`
+    NLogN,
+    /// `n²`
+    Quadratic,
+    /// `n³`
+    Cubic,
+}
+
+impl GrowthShape {
+    /// Every candidate, in increasing asymptotic order.
+    pub const ALL: [GrowthShape; 7] = [
+        GrowthShape::Log,
+        GrowthShape::LogSquared,
+        GrowthShape::Sqrt,
+        GrowthShape::Linear,
+        GrowthShape::NLogN,
+        GrowthShape::Quadratic,
+        GrowthShape::Cubic,
+    ];
+
+    /// Evaluate the shape at `x > 1`.
+    pub fn eval(&self, x: f64) -> f64 {
+        assert!(x > 1.0, "shapes are compared for x > 1");
+        match self {
+            GrowthShape::Log => x.ln(),
+            GrowthShape::LogSquared => x.ln() * x.ln(),
+            GrowthShape::Sqrt => x.sqrt(),
+            GrowthShape::Linear => x,
+            GrowthShape::NLogN => x * x.ln(),
+            GrowthShape::Quadratic => x * x,
+            GrowthShape::Cubic => x * x * x,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrowthShape::Log => "log n",
+            GrowthShape::LogSquared => "log^2 n",
+            GrowthShape::Sqrt => "sqrt n",
+            GrowthShape::Linear => "n",
+            GrowthShape::NLogN => "n log n",
+            GrowthShape::Quadratic => "n^2",
+            GrowthShape::Cubic => "n^3",
+        }
+    }
+}
+
+/// Classify `(xs, ys)` against the canonical shapes: returns the shape
+/// whose normalized ratio `y/f(x)` has the smallest absolute fitted
+/// log-slope (i.e. the flattest ratio), along with that slope.
+pub fn classify_growth(xs: &[f64], ys: &[f64]) -> (GrowthShape, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 3, "need at least 3 scales to classify");
+    assert!(xs.iter().all(|&x| x > 1.0), "scales must exceed 1");
+    assert!(ys.iter().all(|&y| y > 0.0), "measurements must be positive");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let mut best = (GrowthShape::Log, f64::INFINITY);
+    for shape in GrowthShape::ALL {
+        let lr: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (y / shape.eval(x)).ln())
+            .collect();
+        let slope = linear_fit(&lx, &lr).slope;
+        if slope.abs() < best.1.abs() || best.1.is_infinite() {
+            best = (shape, slope);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scales() -> Vec<f64> {
+        (1..=12).map(|i| (i * 200) as f64).collect()
+    }
+
+    #[test]
+    fn classifies_linear() {
+        let xs = scales();
+        let ys: Vec<f64> = xs.iter().map(|&x| 5.0 * x).collect();
+        let (shape, slope) = classify_growth(&xs, &ys);
+        assert_eq!(shape, GrowthShape::Linear);
+        assert!(slope.abs() < 1e-10);
+    }
+
+    #[test]
+    fn classifies_nlogn() {
+        let xs = scales();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.5 * x * x.ln()).collect();
+        let (shape, _) = classify_growth(&xs, &ys);
+        assert_eq!(shape, GrowthShape::NLogN);
+    }
+
+    #[test]
+    fn classifies_log_squared() {
+        let xs = scales();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.ln() * x.ln()).collect();
+        let (shape, _) = classify_growth(&xs, &ys);
+        assert_eq!(shape, GrowthShape::LogSquared);
+    }
+
+    #[test]
+    fn classifies_quadratic_and_cubic() {
+        let xs = scales();
+        let ys2: Vec<f64> = xs.iter().map(|&x| 0.01 * x * x).collect();
+        assert_eq!(classify_growth(&xs, &ys2).0, GrowthShape::Quadratic);
+        let ys3: Vec<f64> = xs.iter().map(|&x| 1e-5 * x * x * x).collect();
+        assert_eq!(classify_growth(&xs, &ys3).0, GrowthShape::Cubic);
+    }
+
+    #[test]
+    fn classification_tolerates_noise() {
+        let xs = scales();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x * (1.0 + 0.08 * ((i as f64 * 3.7).sin())))
+            .collect();
+        let (shape, _) = classify_growth(&xs, &ys);
+        assert_eq!(shape, GrowthShape::Linear);
+    }
+
+    #[test]
+    fn eval_and_names() {
+        assert_eq!(GrowthShape::Linear.eval(10.0), 10.0);
+        assert!((GrowthShape::Log.eval(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        assert_eq!(GrowthShape::Quadratic.name(), "n^2");
+        assert_eq!(GrowthShape::ALL.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 scales")]
+    fn rejects_too_few_points() {
+        classify_growth(&[2.0, 3.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion: cobra-walk step throughput — the hot kernel of every
+//! experiment. Measures full-coverage-regime stepping (active set near
+//! its stationary size) across graph families, sizes, and branching
+//! factors.
+
+use cobra_bench::Family;
+use cobra_core::{CobraWalk, Process, ProcessState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn warm_state(
+    fam: &Family,
+    scale: usize,
+    k: u32,
+) -> (cobra_graph::Graph, Box<dyn ProcessState>, StdRng) {
+    let g = fam.build(scale, 1234);
+    let spec = CobraWalk::new(k);
+    let mut st = spec.spawn(&g, 0);
+    let mut rng = StdRng::seed_from_u64(5678);
+    // Warm up into the saturated active-set regime.
+    for _ in 0..64 {
+        st.step(&g, &mut rng);
+    }
+    (g, st, rng)
+}
+
+fn bench_step_by_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cobra_step_family");
+    let cases: Vec<(Family, usize)> = vec![
+        (Family::Grid { d: 2 }, 63),            // 64x64 = 4096 vertices
+        (Family::Hypercube, 12),                // 4096
+        (Family::RandomRegular { d: 4 }, 4096), // 4096
+        (Family::Lollipop, 4096),
+    ];
+    for (fam, scale) in cases {
+        let (g, mut st, mut rng) = warm_state(&fam, scale, 2);
+        group.throughput(Throughput::Elements(g.num_vertices() as u64));
+        group.bench_function(BenchmarkId::from_parameter(fam.name()), |b| {
+            b.iter(|| {
+                st.step(&g, &mut rng);
+                black_box(st.occupied().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_by_branching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cobra_step_branching");
+    for k in [1u32, 2, 4, 8] {
+        let (g, mut st, mut rng) = warm_state(&Family::RandomRegular { d: 4 }, 2048, k);
+        group.bench_function(BenchmarkId::from_parameter(format!("k={k}")), |b| {
+            b.iter(|| {
+                st.step(&g, &mut rng);
+                black_box(st.occupied().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cobra_step_size");
+    for exp in [10u32, 12, 14] {
+        let n = 1usize << exp;
+        let (g, mut st, mut rng) = warm_state(&Family::RandomRegular { d: 4 }, n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("n={n}")), |b| {
+            b.iter(|| {
+                st.step(&g, &mut rng);
+                black_box(st.occupied().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_by_family,
+    bench_step_by_branching,
+    bench_step_by_size
+);
+criterion_main!(benches);

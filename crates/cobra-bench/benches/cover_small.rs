@@ -1,0 +1,64 @@
+//! Criterion: end-to-end cover-time measurements on small pinned
+//! instances — one per paper-claim territory. These are regression
+//! benches: if a walk kernel or driver slows down, the per-iteration
+//! time here moves.
+
+use cobra_bench::Family;
+use cobra_core::{CobraWalk, CoverDriver, SimpleWalk, WaltProcess};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cover_per_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover_cobra_small");
+    group.sample_size(20);
+    let cases: Vec<(Family, usize)> = vec![
+        (Family::Grid { d: 2 }, 16),       // E1 territory
+        (Family::Hypercube, 8),            // E3
+        (Family::RandomRegular { d: 4 }, 256), // E4
+        (Family::Star, 256),               // E11
+        (Family::Lollipop, 64),            // E8
+    ];
+    for (fam, scale) in cases {
+        let g = fam.build(scale, 42);
+        let start = fam.adversarial_start(&g);
+        let cobra = CobraWalk::standard();
+        group.bench_function(BenchmarkId::from_parameter(fam.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let res = CoverDriver::new(&g)
+                    .run(&cobra, start, 10_000_000, &mut rng)
+                    .unwrap();
+                black_box(res.steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cover_per_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover_by_process");
+    group.sample_size(15);
+    let g = Family::RandomRegular { d: 4 }.build(256, 42);
+    let cobra = CobraWalk::standard();
+    let walt = WaltProcess::standard(0.5);
+    let rw = SimpleWalk::new();
+    let procs: Vec<(&str, &dyn cobra_core::Process)> =
+        vec![("cobra_k2", &cobra), ("walt_half", &walt), ("simple_rw", &rw)];
+    for (name, proc_) in procs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let res = CoverDriver::new(&g)
+                    .run(proc_, 0, 50_000_000, &mut rng)
+                    .unwrap();
+                black_box(res.steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover_per_family, bench_cover_per_process);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: graph generator throughput. Generators run once per sweep
+//! cell, so they must stay cheap relative to the walks they feed.
+
+use cobra_graph::generators::{classic, gnp, grid, hypercube, random_regular};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_deterministic_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_deterministic");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("grid_64x64", |b| {
+        b.iter(|| black_box(grid::grid(&[63, 63])))
+    });
+    group.bench_function("hypercube_12", |b| {
+        b.iter(|| black_box(hypercube::hypercube(12)))
+    });
+    group.bench_function("lollipop_4096", |b| {
+        b.iter(|| black_box(classic::lollipop(4096).unwrap()))
+    });
+    group.bench_function("kary_tree_2_11", |b| {
+        b.iter(|| black_box(cobra_graph::generators::trees::kary_tree(2, 11).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_random_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_random");
+    for n in [1024usize, 4096] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("random_regular_d4", n), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(random_regular::random_regular(n, 4, &mut rng).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("gnp_supercritical", n), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let p = 3.0 * (n as f64).ln() / n as f64;
+            b.iter(|| black_box(gnp::gnp(n, p, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deterministic_generators, bench_random_generators);
+criterion_main!(benches);

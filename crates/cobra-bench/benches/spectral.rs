@@ -1,0 +1,61 @@
+//! Criterion: spectral kernels — sparse matvec, spectral-gap power
+//! iteration, and D(G×G) tensor-chain evolution (the E6 workhorse).
+
+use cobra_graph::generators::{hypercube, random_regular};
+use cobra_spectral::laplacian::spectral_gap;
+use cobra_spectral::tensor::TensorChain;
+use cobra_spectral::walk_matrix::{delta, evolve, transition_matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    for n in [1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_regular::random_regular(n, 4, &mut rng).unwrap();
+        let p = transition_matrix(&g);
+        let x = vec![1.0 / n as f64; n];
+        let mut y = vec![0.0; n];
+        group.throughput(Throughput::Elements(p.nnz() as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("n={n}")), |b| {
+            b.iter(|| {
+                p.matvec(&x, &mut y);
+                black_box(y[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_gap");
+    group.sample_size(10);
+    for dim in [8u32, 10] {
+        let g = hypercube::hypercube(dim);
+        group.bench_function(BenchmarkId::from_parameter(format!("hypercube_{dim}")), |b| {
+            b.iter(|| black_box(spectral_gap(&g, 20_000, 1e-10)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tensor_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_chain");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = random_regular::random_regular(32, 4, &mut rng).unwrap();
+    group.bench_function("build_n32_d4", |b| {
+        b.iter(|| black_box(TensorChain::new(&g, true)))
+    });
+    let tc = TensorChain::new(&g, true);
+    let start = delta(tc.num_states(), tc.index_of(0, 16));
+    group.bench_function("evolve_100_steps_n32", |b| {
+        b.iter(|| black_box(evolve(tc.matrix(), &start, 100)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec, bench_spectral_gap, bench_tensor_chain);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! **E10 — §3 closing remark & conjecture:** 2-cobra walks on `k`-ary
+//! trees cover in time proportional to the tree's diameter for
+//! `k ∈ {2, 3}` (shown via the Lemma 2 multi-step case analysis), and
+//! conjectured for every constant `k`.
+//!
+//! We sweep depth for `k ∈ {2, 3, 4, 5}`, measure cover time, and fit
+//! cover against the diameter `2·depth`. Proportional-to-diameter means
+//! the cover/diameter ratio may depend on `k` but not on the depth:
+//! log-slope of the ratio vs diameter ≈ 0. (Note the number of vertices
+//! grows exponentially in the diameter, so "∝ diameter" is an extremely
+//! strong claim: it is cover ∝ log n.)
+
+use cobra_analysis::compare::ratio_flatness;
+use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::{ExpConfig, Family};
+use cobra_core::CobraWalk;
+use cobra_sim::runner::{run_cover_trials, TrialPlan};
+use cobra_sim::sweep::{SweepRow, SweepTable};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    banner(
+        "E10",
+        "§3 remark/conjecture: k-ary tree cover time ∝ diameter (k=2,3 shown; all k conjectured)",
+        &cfg,
+    );
+
+    let cobra = CobraWalk::standard();
+    let trials = cfg.scale(25, 80);
+
+    let mut all_proportional = true;
+    for k in [2usize, 3, 4, 5] {
+        let fam = Family::KaryTree { k };
+        // Depth ranges keep the biggest tree around ~100k-1M vertices.
+        let depths: Vec<usize> = match (k, cfg.full) {
+            (2, false) => vec![4, 6, 8, 10, 12],
+            (2, true) => vec![6, 8, 10, 12, 14, 16],
+            (3, false) => vec![3, 4, 5, 6, 7],
+            (3, true) => vec![4, 5, 6, 7, 8, 10],
+            (4, false) => vec![2, 3, 4, 5, 6],
+            (4, true) => vec![3, 4, 5, 6, 7],
+            (_, false) => vec![2, 3, 4, 5],
+            (_, true) => vec![3, 4, 5, 6, 7],
+        };
+        let mut table = SweepTable::new(format!("cobra(k=2) cover on {}", fam.name()), "diameter");
+        for (i, &depth) in depths.iter().enumerate() {
+            let g = fam.build(depth, 0);
+            let n = g.num_vertices();
+            let diam = 2 * depth;
+            // Cover ∝ diameter with a k-dependent constant; budget is a
+            // generous multiple plus slack for the conjectured k ≥ 4 cases
+            // where the constant may be larger.
+            let budget = 3000 * diam * (k + 1) + 200_000;
+            let out = run_cover_trials(
+                &g,
+                &cobra,
+                0,
+                &TrialPlan::new(trials, budget, cfg.seed.wrapping_add((k * 100 + i) as u64)),
+            );
+            table.push(
+                SweepRow::from_summary(diam as f64, &out.summary, out.censored)
+                    .with_context("n", n as f64)
+                    .with_context("cover_per_diam", out.summary.mean() / diam as f64),
+            );
+        }
+        emit_table(&cfg, &table, &format!("e10_k{k}"));
+
+        let xs = table.scales();
+        let ys = table.means();
+        let rep_diam = ratio_flatness(&xs, &ys, &xs);
+        let diamlog: Vec<f64> = xs.iter().map(|&d| d * d.ln()).collect();
+        let rep_diamlog = ratio_flatness(&xs, &ys, &diamlog);
+        println!(
+            "cover/diam log-slope {:+.3}; cover/(diam·ln diam) log-slope {:+.3}",
+            rep_diam.log_slope, rep_diamlog.log_slope
+        );
+        // Finite-size caveat: n = k^depth, so reachable depths are small
+        // and a c·diam law is indistinguishable from c·diam·log(diam)
+        // here (log diam spans < 2× across the sweep). We accept the
+        // theorem's shape if cover is at worst diameter-times-log flat —
+        // i.e. clearly sub-polynomial in n (cover ∝ polylog n), which is
+        // the substance of the claim (n grows exponentially in diameter).
+        let pass = rep_diamlog.log_slope.abs() < 0.15 || rep_diam.log_slope.abs() < 0.15;
+        all_proportional &= pass || k >= 4; // conjectured cases reported, not enforced
+        let status = if k <= 3 { "Theorem-backed" } else { "conjecture" };
+        verdict(
+            &format!("{status} (k={k}): cover ∝ diameter (up to log(diam) at these depths)"),
+            pass,
+            &format!(
+                "diam-ratio slope {:+.3}, diam·log-ratio slope {:+.3}, spread {:.2}×",
+                rep_diam.log_slope, rep_diamlog.log_slope, rep_diam.spread
+            ),
+        );
+        println!();
+    }
+    verdict(
+        "E10 overall: proven cases (k=2,3) scale with diameter (≙ log n), not with n",
+        all_proportional,
+        "conjectured k ∈ {4,5} reported informationally; cover ∝ diam vs diam·log(diam) \
+         needs exponentially deeper trees to separate",
+    );
+}

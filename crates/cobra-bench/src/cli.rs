@@ -1,0 +1,122 @@
+//! Minimal CLI parsing shared by the experiment binaries (no external
+//! argument-parsing dependency needed for three flags).
+
+use std::path::PathBuf;
+
+/// Common experiment configuration parsed from `std::env::args`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Paper-scale sweeps instead of CI-friendly ones.
+    pub full: bool,
+    /// Master seed (default 0xC0BRA ≅ 0xC0B7A).
+    pub seed: u64,
+    /// If set, write CSV tables into this directory.
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { full: false, seed: 0xC0B7A, csv_dir: None }
+    }
+}
+
+impl ExpConfig {
+    /// Parse from an iterator of arguments (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = ExpConfig::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => cfg.full = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cfg.seed = v.parse::<u64>().map_err(|e| format!("bad seed {v}: {e}"))?;
+                }
+                "--csv" => {
+                    let v = it.next().ok_or("--csv needs a directory")?;
+                    cfg.csv_dir = Some(PathBuf::from(v));
+                }
+                "--help" | "-h" => {
+                    return Err("usage: <exp> [--full] [--seed <u64>] [--csv <dir>]".to_string())
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Parse from the process environment, exiting with a message on
+    /// error (for use at the top of each binary's `main`).
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pick between a CI-scale and a full-scale value.
+    pub fn scale<T>(&self, ci: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            ci
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpConfig, String> {
+        ExpConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = parse(&[]).unwrap();
+        assert!(!cfg.full);
+        assert_eq!(cfg.seed, 0xC0B7A);
+        assert!(cfg.csv_dir.is_none());
+    }
+
+    #[test]
+    fn full_flag() {
+        assert!(parse(&["--full"]).unwrap().full);
+    }
+
+    #[test]
+    fn seed_flag() {
+        assert_eq!(parse(&["--seed", "123"]).unwrap().seed, 123);
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn csv_flag() {
+        let cfg = parse(&["--csv", "/tmp/out"]).unwrap();
+        assert_eq!(cfg.csv_dir.unwrap(), PathBuf::from("/tmp/out"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn help_is_an_err_with_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("usage"));
+    }
+
+    #[test]
+    fn scale_selector() {
+        let ci = parse(&[]).unwrap();
+        assert_eq!(ci.scale(10, 100), 10);
+        let full = parse(&["--full"]).unwrap();
+        assert_eq!(full.scale(10, 100), 100);
+    }
+}

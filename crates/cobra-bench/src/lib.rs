@@ -1,0 +1,25 @@
+//! # cobra-bench
+//!
+//! Experiment harness for the cobra-walk reproduction. Each empirically
+//! checkable claim of the paper has a binary (`e1_grid_cover` …
+//! `e13_walt_ablation`); shared sweep/reporting plumbing lives here.
+//!
+//! Every binary supports:
+//!
+//! * default mode — CI-friendly sizes (seconds to a few minutes);
+//! * `--full` — paper-scale sweeps;
+//! * `--seed <u64>` — override the master seed;
+//! * `--csv <dir>` — also write each table as CSV.
+//!
+//! See `EXPERIMENTS.md` at the workspace root for the experiment ↔ claim
+//! index and recorded results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod families;
+pub mod report;
+
+pub use cli::ExpConfig;
+pub use families::Family;

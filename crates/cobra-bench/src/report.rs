@@ -1,0 +1,108 @@
+//! Shared reporting helpers for the experiment binaries: print Markdown
+//! tables, fit growth shapes, and emit a one-line verdict per claim.
+
+use crate::cli::ExpConfig;
+use cobra_analysis::fit::{power_law_fit, FitResult};
+use cobra_analysis::growth::classify_growth;
+use cobra_sim::sweep::SweepTable;
+use cobra_sim::table::{render_markdown, write_csv};
+
+/// Print a table (Markdown to stdout) and optionally write its CSV.
+pub fn emit_table(cfg: &ExpConfig, t: &SweepTable, file_stem: &str) {
+    println!("{}", render_markdown(t));
+    if let Some(dir) = &cfg.csv_dir {
+        let path = dir.join(format!("{file_stem}.csv"));
+        match write_csv(t, &path) {
+            Ok(()) => println!("(csv written to {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    println!();
+}
+
+/// Fit `mean` against scale as a power law and print exponent + R².
+pub fn fit_and_report(t: &SweepTable) -> FitResult {
+    let fit = power_law_fit(&t.scales(), &t.means());
+    println!(
+        "fit[{}]: T ≈ {:.3}·{}^{:.3}  (R² = {:.4})",
+        t.label,
+        fit.intercept.exp(),
+        t.scale_name,
+        fit.slope,
+        fit.r_squared
+    );
+    fit
+}
+
+/// Classify against canonical shapes and print the verdict.
+pub fn classify_and_report(t: &SweepTable) {
+    let (shape, slope) = classify_growth(&t.scales(), &t.means());
+    println!(
+        "shape[{}]: best match = {} (residual log-slope {:+.3})",
+        t.label,
+        shape.name(),
+        slope
+    );
+}
+
+/// Print a PASS/FAIL verdict line for a claim check.
+pub fn verdict(claim: &str, pass: bool, detail: &str) {
+    let tag = if pass { "PASS" } else { "FAIL" };
+    println!("[{tag}] {claim} — {detail}");
+}
+
+/// Print the experiment banner.
+pub fn banner(id: &str, claim: &str, cfg: &ExpConfig) {
+    println!("==============================================================");
+    println!("{id}: {claim}");
+    println!(
+        "mode = {}, master seed = {}",
+        if cfg.full { "FULL (paper scale)" } else { "CI (reduced scale)" },
+        cfg.seed
+    );
+    println!("==============================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_sim::stats::Summary;
+    use cobra_sim::sweep::SweepRow;
+
+    fn linear_table() -> SweepTable {
+        let mut t = SweepTable::new("test-series", "n");
+        for i in 1..=6usize {
+            let n = (i * 100) as f64;
+            let s = Summary::from_slice(&[2.0 * n, 2.0 * n + 1.0, 2.0 * n - 1.0]);
+            t.push(SweepRow::from_summary(n, &s, 0));
+        }
+        t
+    }
+
+    #[test]
+    fn fit_reports_linear_exponent() {
+        let fit = fit_and_report(&linear_table());
+        assert!((fit.slope - 1.0).abs() < 0.01, "slope {}", fit.slope);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn emit_table_without_csv_dir_is_quiet() {
+        let cfg = ExpConfig::default();
+        emit_table(&cfg, &linear_table(), "test");
+    }
+
+    #[test]
+    fn emit_table_with_csv_dir_writes() {
+        let dir = std::env::temp_dir().join("cobra_report_test");
+        let cfg = ExpConfig { csv_dir: Some(dir.clone()), ..ExpConfig::default() };
+        emit_table(&cfg, &linear_table(), "series");
+        assert!(dir.join("series.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classify_does_not_panic() {
+        classify_and_report(&linear_table());
+    }
+}

@@ -1,0 +1,126 @@
+//! Epoch-stamped dense vertex set with O(1) clear.
+//!
+//! Walk kernels toggle membership for a handful of vertices per round but
+//! would pay O(n) to clear a `Vec<bool>` between rounds. [`DenseSet`]
+//! stamps entries with an epoch counter instead, so `clear` is a single
+//! increment.
+
+use cobra_graph::Vertex;
+
+/// A set over dense vertex ids `0..n` with O(1) insert/contains/clear.
+#[derive(Clone, Debug)]
+pub struct DenseSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+    len: usize,
+}
+
+impl DenseSet {
+    /// Create an empty set over the id space `0..n`.
+    pub fn new(n: usize) -> Self {
+        DenseSet { stamps: vec![0; n], epoch: 1, len: 0 }
+    }
+
+    /// Capacity of the id space.
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `v` is a member.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.stamps[v as usize] == self.epoch
+    }
+
+    /// Insert `v`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        let slot = &mut self.stamps[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Remove all members in O(1).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset stamps so stale epochs can't alias.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = DenseSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn clear_is_effective() {
+        let mut s = DenseSet::new(5);
+        for v in 0..5 {
+            s.insert(v);
+        }
+        assert_eq!(s.len(), 5);
+        s.clear();
+        assert!(s.is_empty());
+        for v in 0..5 {
+            assert!(!s.contains(v));
+        }
+        assert!(s.insert(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn epoch_wraparound_is_safe() {
+        let mut s = DenseSet::new(3);
+        s.insert(0);
+        // Force the epoch to wrap.
+        s.epoch = u32::MAX;
+        s.clear();
+        assert_eq!(s.epoch, 1);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+    }
+
+    #[test]
+    fn many_clear_cycles() {
+        let mut s = DenseSet::new(4);
+        for round in 0..1000u32 {
+            let v = (round % 4) as Vertex;
+            assert!(s.insert(v));
+            assert!(s.contains(v));
+            s.clear();
+        }
+        assert!(s.is_empty());
+    }
+}

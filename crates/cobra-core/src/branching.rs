@@ -1,0 +1,164 @@
+//! Pure branching random walks (Harris; Benjamini–Müller; paper §1.2).
+//!
+//! The "branching half" of the cobra dynamics: each walker spawns `k`
+//! children who move to independent random neighbors, with **no**
+//! coalescence. The population grows like `k^t`, so the process carries a
+//! population cap: it is a reference *upper envelope* for how fast any
+//! branching process can spread, used to quantify how much coalescence
+//! costs the cobra walk (the gap between the two is the "time's arrow"
+//! effect of §1.2).
+
+use crate::process::{sample_index, Process, ProcessState};
+use cobra_graph::{Graph, Vertex};
+use rand::Rng;
+
+/// Specification of a capped branching random walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchingWalk {
+    branching_factor: u32,
+    max_population: usize,
+}
+
+impl BranchingWalk {
+    /// A branching walk with factor `k ≥ 1` and a population cap (children
+    /// beyond the cap are dropped uniformly by truncation each round).
+    pub fn new(branching_factor: u32, max_population: usize) -> Self {
+        assert!(branching_factor >= 1, "branching factor must be >= 1");
+        assert!(max_population >= 1, "population cap must be >= 1");
+        BranchingWalk { branching_factor, max_population }
+    }
+
+    /// The branching factor `k`.
+    pub fn branching_factor(&self) -> u32 {
+        self.branching_factor
+    }
+
+    /// The population cap.
+    pub fn max_population(&self) -> usize {
+        self.max_population
+    }
+}
+
+impl Process for BranchingWalk {
+    fn name(&self) -> String {
+        format!(
+            "branching-rw(k={},cap={})",
+            self.branching_factor, self.max_population
+        )
+    }
+
+    fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        Box::new(BranchingState {
+            k: self.branching_factor,
+            cap: self.max_population,
+            population: vec![start],
+            next: Vec::new(),
+        })
+    }
+}
+
+struct BranchingState {
+    k: u32,
+    cap: usize,
+    population: Vec<Vertex>,
+    next: Vec<Vertex>,
+}
+
+impl ProcessState for BranchingState {
+    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+        self.next.clear();
+        'outer: for &v in &self.population {
+            let ns = g.neighbors(v);
+            debug_assert!(!ns.is_empty(), "branching walk requires min degree >= 1");
+            for _ in 0..self.k {
+                self.next.push(ns[sample_index(ns.len(), rng)]);
+                if self.next.len() >= self.cap {
+                    break 'outer;
+                }
+            }
+        }
+        std::mem::swap(&mut self.population, &mut self.next);
+    }
+
+    fn occupied(&self) -> &[Vertex] {
+        &self.population
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::classic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn population_grows_by_k_until_cap() {
+        let g = classic::complete(50).unwrap();
+        let spec = BranchingWalk::new(2, 1000);
+        let mut st = spec.spawn(&g, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut expected = 1usize;
+        for _ in 0..8 {
+            st.step(&g, &mut rng);
+            expected = (expected * 2).min(1000);
+            assert_eq!(st.occupied().len(), expected);
+        }
+    }
+
+    #[test]
+    fn population_respects_cap() {
+        let g = classic::complete(10).unwrap();
+        let spec = BranchingWalk::new(3, 25);
+        let mut st = spec.spawn(&g, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            st.step(&g, &mut rng);
+            assert!(st.occupied().len() <= 25);
+        }
+        assert_eq!(st.occupied().len(), 25);
+    }
+
+    #[test]
+    fn children_land_on_neighbors() {
+        let g = classic::star(8).unwrap();
+        let spec = BranchingWalk::new(2, 100);
+        let mut st = spec.spawn(&g, 0); // hub
+        let mut rng = StdRng::seed_from_u64(3);
+        st.step(&g, &mut rng);
+        for &v in st.occupied() {
+            assert!(v >= 1, "children of the hub are leaves");
+        }
+        st.step(&g, &mut rng);
+        for &v in st.occupied() {
+            assert_eq!(v, 0, "grandchildren must be back at the hub");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_allowed() {
+        // With k=2 from a degree-1 vertex both children land on the same
+        // neighbor — branching walks do NOT coalesce.
+        let g = classic::path(3).unwrap();
+        let spec = BranchingWalk::new(2, 100);
+        let mut st = spec.spawn(&g, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        st.step(&g, &mut rng);
+        assert_eq!(st.occupied(), &[1, 1]);
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let spec = BranchingWalk::new(4, 7);
+        assert_eq!(spec.branching_factor(), 4);
+        assert_eq!(spec.max_population(), 7);
+        assert_eq!(spec.name(), "branching-rw(k=4,cap=7)");
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn rejects_zero_cap() {
+        BranchingWalk::new(2, 0);
+    }
+}

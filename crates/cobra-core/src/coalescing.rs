@@ -1,0 +1,168 @@
+//! Pure coalescing random walks (Cooper–Elsässer–Ono–Radzik; paper §1.2).
+//!
+//! The "coalescing half" of the cobra dynamics: a population of walkers
+//! move independently, and walkers that meet at a vertex merge into one.
+//! Dual to the voter model. Included as a related-work baseline and to
+//! test coalescence handling in isolation from branching.
+
+use crate::active_set::DenseSet;
+use crate::process::{random_neighbor, Process, ProcessState};
+use cobra_graph::{Graph, Vertex};
+use rand::Rng;
+
+/// Specification of a coalescing random walk system.
+///
+/// Spawned with `walkers` tokens at the start vertex; since co-located
+/// walkers merge immediately, a same-vertex start collapses to one walker
+/// after the first coalescence pass — use
+/// [`CoalescingWalks::spawn_spread`] to scatter the initial walkers over
+/// distinct vertices instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalescingWalks {
+    walkers: usize,
+}
+
+impl CoalescingWalks {
+    /// A system that starts with `walkers ≥ 1` tokens.
+    pub fn new(walkers: usize) -> Self {
+        assert!(walkers >= 1, "need at least one walker");
+        CoalescingWalks { walkers }
+    }
+
+    /// Spawn with one walker on each of the first `walkers` vertices
+    /// (vertex ids `0, 1, …`), the standard initial condition for
+    /// coalescence-time studies.
+    pub fn spawn_spread(&self, g: &Graph) -> Box<dyn ProcessState> {
+        let n = g.num_vertices();
+        assert!(self.walkers <= n, "more walkers than vertices");
+        Box::new(CoalescingState {
+            positions: (0..self.walkers as u32).collect(),
+            dedup: DenseSet::new(n),
+        })
+    }
+}
+
+impl Process for CoalescingWalks {
+    fn name(&self) -> String {
+        format!("coalescing-rw(k={})", self.walkers)
+    }
+
+    fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        Box::new(CoalescingState {
+            positions: vec![start; self.walkers],
+            dedup: DenseSet::new(g.num_vertices()),
+        })
+    }
+}
+
+struct CoalescingState {
+    positions: Vec<Vertex>,
+    dedup: DenseSet,
+}
+
+impl ProcessState for CoalescingState {
+    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+        // Move every walker, then coalesce co-located ones.
+        self.dedup.clear();
+        let mut write = 0usize;
+        for read in 0..self.positions.len() {
+            let next = random_neighbor(g, self.positions[read], rng);
+            if self.dedup.insert(next) {
+                self.positions[write] = next;
+                write += 1;
+            }
+        }
+        self.positions.truncate(write);
+    }
+
+    fn occupied(&self) -> &[Vertex] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::classic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walker_count_never_increases() {
+        let g = classic::complete(12).unwrap();
+        let spec = CoalescingWalks::new(8);
+        let mut st = spec.spawn_spread(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev = st.occupied().len();
+        for _ in 0..200 {
+            st.step(&g, &mut rng);
+            let cur = st.occupied().len();
+            assert!(cur <= prev);
+            assert!(cur >= 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn eventually_coalesces_to_one_on_complete_graph() {
+        let g = classic::complete(8).unwrap();
+        let spec = CoalescingWalks::new(8);
+        let mut st = spec.spawn_spread(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5000 {
+            st.step(&g, &mut rng);
+            if st.occupied().len() == 1 {
+                return;
+            }
+        }
+        panic!("8 walkers on K8 did not coalesce within 5000 steps");
+    }
+
+    #[test]
+    fn same_start_collapses_after_one_step() {
+        let g = classic::star(6).unwrap();
+        let spec = CoalescingWalks::new(5);
+        let mut st = spec.spawn(&g, 1); // all at a leaf
+        let mut rng = StdRng::seed_from_u64(3);
+        st.step(&g, &mut rng);
+        // All walkers were at leaf 1, all must move to hub 0 and coalesce.
+        assert_eq!(st.occupied(), &[0]);
+    }
+
+    #[test]
+    fn positions_are_distinct_after_each_step() {
+        let g = classic::cycle(20).unwrap();
+        let spec = CoalescingWalks::new(10);
+        let mut st = spec.spawn_spread(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            st.step(&g, &mut rng);
+            let mut sorted = st.occupied().to_vec();
+            sorted.sort_unstable();
+            let len = sorted.len();
+            sorted.dedup();
+            assert_eq!(sorted.len(), len);
+        }
+    }
+
+    #[test]
+    fn spawn_spread_validates() {
+        let g = classic::path(3).unwrap();
+        let spec = CoalescingWalks::new(3);
+        let st = spec.spawn_spread(&g);
+        assert_eq!(st.occupied(), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more walkers")]
+    fn spawn_spread_rejects_overflow() {
+        let g = classic::path(2).unwrap();
+        CoalescingWalks::new(5).spawn_spread(&g);
+    }
+
+    #[test]
+    fn name_contains_count() {
+        assert_eq!(CoalescingWalks::new(3).name(), "coalescing-rw(k=3)");
+    }
+}

@@ -1,0 +1,84 @@
+//! # cobra-core
+//!
+//! The stochastic processes of *Better Bounds for Coalescing-Branching
+//! Random Walks* (Mitzenmacher, Rajaraman, Roche, SPAA 2016), plus every
+//! process the paper compares against or uses inside its proofs:
+//!
+//! * [`CobraWalk`] — the paper's central object: the `k`-cobra walk
+//!   (§2). Each active vertex sends `k` independent uniformly random
+//!   pebbles to neighbors; pebbles landing on the same vertex coalesce.
+//! * [`WaltProcess`] — the **Walt** coupling process of §4: a fixed
+//!   population of totally ordered pebbles with a three-pebble coalescence
+//!   threshold, whose cover time stochastically dominates the cobra walk's
+//!   (Lemma 10) and is analyzable through the directed tensor chain
+//!   D(G×G) (Lemma 11).
+//! * [`SimpleWalk`] / lazy variant — classic baseline (Feige's
+//!   Θ(log n)…O(n³) cover-time range, §1.2).
+//! * [`ParallelWalks`] — `k` independent walks (Alon et al., §1.2).
+//! * [`PushGossip`], [`PullGossip`], [`PushPullGossip`] — rumor spreading
+//!   (Feige et al.), the O(n log n) process cobra walks are conjectured to
+//!   match.
+//! * [`BiasedWalk`] — the ε-biased walks of Azar et al. (§5.1) with a
+//!   pluggable [`Controller`], and the paper's **inverse-degree-biased
+//!   walk** whose hitting time upper-bounds the cobra walk's (Lemma 14);
+//!   includes the Metropolis controller of Lemma 16.
+//! * [`CoalescingWalks`] / [`BranchingWalk`] — the two halves of the
+//!   cobra dynamics in isolation (§1.2 related work).
+//! * [`queueing`] — the multi-dimensional drift chain from the proof of
+//!   Theorem 3 (§3), a.k.a. the paper's "discrete time queueing system".
+//!
+//! Measurement drivers ([`CoverDriver`], [`HittingDriver`], h_max
+//! estimation and the Matthews-bound check of Theorem 1) live in
+//! [`measure`].
+//!
+//! ## Example: cover a hypercube with a 2-cobra walk
+//!
+//! ```
+//! use cobra_core::{CobraWalk, CoverDriver};
+//! use cobra_graph::generators::hypercube::hypercube;
+//! use rand::SeedableRng;
+//!
+//! let g = hypercube(6);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let res = CoverDriver::new(&g)
+//!     .run(&CobraWalk::new(2), 0, 50_000, &mut rng)
+//!     .expect("cover within budget");
+//! assert_eq!(res.covered, 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod active_set;
+pub mod biased;
+pub mod branching;
+pub mod coalescing;
+pub mod cobra;
+pub mod gossip;
+pub mod measure;
+pub mod parallel_walks;
+pub mod process;
+pub mod queueing;
+pub mod schedule;
+pub mod simple;
+pub mod sis;
+pub mod trajectory;
+pub mod two_stage;
+pub mod walt;
+
+pub use active_set::DenseSet;
+pub use biased::{BiasedWalk, Controller, MetropolisWalk, TowardTarget};
+pub use queueing::DriftChain;
+pub use branching::BranchingWalk;
+pub use coalescing::CoalescingWalks;
+pub use cobra::CobraWalk;
+pub use gossip::{PullGossip, PushGossip, PushPullGossip};
+pub use measure::{CoverDriver, CoverResult, HittingDriver, HittingResult};
+pub use parallel_walks::ParallelWalks;
+pub use process::{Process, ProcessState};
+pub use schedule::{BranchingSchedule, ScheduledCobraWalk};
+pub use simple::SimpleWalk;
+pub use sis::SisProcess;
+pub use trajectory::{record_trajectory, Trajectory};
+pub use two_stage::TwoStageProcess;
+pub use walt::WaltProcess;

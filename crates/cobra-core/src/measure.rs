@@ -1,0 +1,329 @@
+//! Cover-time and hitting-time measurement (paper §2 definitions) plus the
+//! Matthews-bound check of Theorem 1.
+//!
+//! * **Cover time**: the first `T` such that every vertex belonged to some
+//!   active set `S_t`, `t ≤ T`;
+//! * **Hitting time `H(u, v)`**: the first time any pebble of a walk
+//!   started at `u` reaches `v`;
+//! * **`h_max`**: `max_{u,v} H(u, v)`, estimated by sampling pairs;
+//! * **Theorem 1** (Matthews extension, proved in the prior cobra paper):
+//!   cover time `= O(h_max · log n)` — checked empirically by
+//!   [`matthews_ratio`].
+
+use crate::process::Process;
+use cobra_graph::{Graph, Vertex};
+use rand::Rng;
+
+/// Outcome of a cover-time run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverResult {
+    /// Rounds taken to cover the graph (valid when `completed`).
+    pub steps: usize,
+    /// Number of distinct vertices covered when the run ended.
+    pub covered: usize,
+    /// Whether the whole graph was covered within the budget.
+    pub completed: bool,
+    /// `|S_t|` after each round, recorded when trajectory recording is on.
+    pub trajectory: Option<Vec<usize>>,
+}
+
+/// Drives a process on a graph until coverage or a step budget.
+pub struct CoverDriver<'g> {
+    g: &'g Graph,
+    record_trajectory: bool,
+}
+
+impl<'g> CoverDriver<'g> {
+    /// Driver for graph `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        CoverDriver { g, record_trajectory: false }
+    }
+
+    /// Also record the active-set size after every round (costs one usize
+    /// per round).
+    pub fn record_trajectory(mut self) -> Self {
+        self.record_trajectory = true;
+        self
+    }
+
+    /// Run `process` from `start` until the graph is covered or
+    /// `max_steps` rounds elapse. Returns `None` only if the graph has no
+    /// vertices.
+    pub fn run(
+        &self,
+        process: &dyn Process,
+        start: Vertex,
+        max_steps: usize,
+        rng: &mut dyn Rng,
+    ) -> Option<CoverResult> {
+        let n = self.g.num_vertices();
+        if n == 0 {
+            return None;
+        }
+        let mut state = process.spawn(self.g, start);
+        let mut covered = vec![false; n];
+        let mut covered_count = 0usize;
+        let mark = |occ: &[Vertex], covered: &mut [bool], count: &mut usize| {
+            for &v in occ {
+                if !covered[v as usize] {
+                    covered[v as usize] = true;
+                    *count += 1;
+                }
+            }
+        };
+        mark(state.occupied(), &mut covered, &mut covered_count);
+        let mut trajectory = self.record_trajectory.then(Vec::new);
+        if covered_count == n {
+            return Some(CoverResult {
+                steps: 0,
+                covered: n,
+                completed: true,
+                trajectory,
+            });
+        }
+        for t in 1..=max_steps {
+            state.step(self.g, rng);
+            mark(state.occupied(), &mut covered, &mut covered_count);
+            if let Some(tr) = trajectory.as_mut() {
+                tr.push(state.support_size());
+            }
+            if covered_count == n {
+                return Some(CoverResult { steps: t, covered: n, completed: true, trajectory });
+            }
+        }
+        Some(CoverResult {
+            steps: max_steps,
+            covered: covered_count,
+            completed: false,
+            trajectory,
+        })
+    }
+}
+
+/// Outcome of a hitting-time run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HittingResult {
+    /// Rounds until the target was first occupied (valid when `hit`).
+    pub steps: usize,
+    /// Whether the target was reached within the budget.
+    pub hit: bool,
+}
+
+/// Drives a process until a target vertex is occupied.
+pub struct HittingDriver<'g> {
+    g: &'g Graph,
+}
+
+impl<'g> HittingDriver<'g> {
+    /// Driver for graph `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        HittingDriver { g }
+    }
+
+    /// Run `process` from `start` until some pebble occupies `target` or
+    /// `max_steps` rounds elapse. A run started *at* the target hits at
+    /// step 0.
+    pub fn run(
+        &self,
+        process: &dyn Process,
+        start: Vertex,
+        target: Vertex,
+        max_steps: usize,
+        rng: &mut dyn Rng,
+    ) -> HittingResult {
+        let mut state = process.spawn(self.g, start);
+        if state.occupied().contains(&target) {
+            return HittingResult { steps: 0, hit: true };
+        }
+        for t in 1..=max_steps {
+            state.step(self.g, rng);
+            if state.occupied().contains(&target) {
+                return HittingResult { steps: t, hit: true };
+            }
+        }
+        HittingResult { steps: max_steps, hit: false }
+    }
+}
+
+/// Estimate `h_max = max_{u,v} H(u, v)` by measuring the mean hitting time
+/// over `trials` runs for each of `pairs` sampled `(u, v)` pairs, returning
+/// the largest mean observed. For small graphs, pass `pairs >= n²` to make
+/// the pair sample exhaustive-ish.
+///
+/// Runs that exhaust `max_steps` count as `max_steps` (an underestimate —
+/// acceptable because the Matthews experiment only needs the right order
+/// of magnitude and reports censoring separately).
+pub fn estimate_hmax(
+    g: &Graph,
+    process: &dyn Process,
+    pairs: usize,
+    trials: usize,
+    max_steps: usize,
+    rng: &mut dyn Rng,
+) -> f64 {
+    use crate::process::sample_index;
+    let n = g.num_vertices();
+    assert!(n >= 2, "hitting times need at least two vertices");
+    let driver = HittingDriver::new(g);
+    let mut worst = 0.0f64;
+    for _ in 0..pairs {
+        let u = sample_index(n, rng) as Vertex;
+        let mut v = sample_index(n - 1, rng) as Vertex;
+        if v >= u {
+            v += 1;
+        }
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += driver.run(process, u, v, max_steps, rng).steps;
+        }
+        let mean = total as f64 / trials as f64;
+        worst = worst.max(mean);
+    }
+    worst
+}
+
+/// The Matthews ratio `cover_time / (h_max · ln n)`. Theorem 1 says this
+/// is O(1) for cobra walks; the experiment harness checks it stays bounded
+/// across families and sizes.
+pub fn matthews_ratio(cover_time: f64, hmax: f64, n: usize) -> f64 {
+    assert!(n >= 2);
+    cover_time / (hmax.max(1.0) * (n as f64).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cobra::CobraWalk;
+    use crate::simple::SimpleWalk;
+    use cobra_graph::generators::classic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cover_completes_on_small_cycle() {
+        let g = classic::cycle(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = CoverDriver::new(&g)
+            .run(&CobraWalk::standard(), 0, 10_000, &mut rng)
+            .unwrap();
+        assert!(res.completed);
+        assert_eq!(res.covered, 8);
+        assert!(res.steps >= 4, "cannot cover an 8-cycle in under 4 rounds");
+    }
+
+    #[test]
+    fn cover_budget_exhaustion_reports_partial() {
+        let g = classic::path(50).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = CoverDriver::new(&g)
+            .run(&SimpleWalk::new(), 0, 3, &mut rng)
+            .unwrap();
+        assert!(!res.completed);
+        assert!(res.covered < 50);
+        assert_eq!(res.steps, 3);
+    }
+
+    #[test]
+    fn cover_on_single_vertex_graph_is_zero_steps() {
+        let g = cobra_graph::builder::from_edges(1, &[]).unwrap();
+        // Single-vertex graph: start covers everything; process never steps,
+        // so its (absent) neighbors are never sampled.
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = CoverDriver::new(&g)
+            .run(&SimpleWalk::new(), 0, 10, &mut rng)
+            .unwrap();
+        assert!(res.completed);
+        assert_eq!(res.steps, 0);
+    }
+
+    #[test]
+    fn cover_on_empty_graph_is_none() {
+        let g = cobra_graph::Graph::empty(0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(CoverDriver::new(&g).run(&SimpleWalk::new(), 0, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn trajectory_is_recorded() {
+        let g = classic::complete(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = CoverDriver::new(&g)
+            .record_trajectory()
+            .run(&CobraWalk::standard(), 0, 10_000, &mut rng)
+            .unwrap();
+        let tr = res.trajectory.unwrap();
+        assert_eq!(tr.len(), res.steps);
+        assert!(tr.iter().all(|&s| s >= 1 && s <= 16));
+    }
+
+    #[test]
+    fn hitting_at_start_is_zero() {
+        let g = classic::cycle(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = HittingDriver::new(&g).run(&SimpleWalk::new(), 3, 3, 100, &mut rng);
+        assert!(res.hit);
+        assert_eq!(res.steps, 0);
+    }
+
+    #[test]
+    fn hitting_adjacent_takes_at_least_one_step() {
+        let g = classic::complete(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let res = HittingDriver::new(&g).run(&CobraWalk::standard(), 0, 1, 1000, &mut rng);
+        assert!(res.hit);
+        assert!(res.steps >= 1);
+    }
+
+    #[test]
+    fn hitting_budget_exhaustion() {
+        let g = classic::path(100).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let res = HittingDriver::new(&g).run(&SimpleWalk::new(), 0, 99, 5, &mut rng);
+        assert!(!res.hit);
+        assert_eq!(res.steps, 5);
+    }
+
+    #[test]
+    fn hmax_on_complete_graph_is_small() {
+        let g = classic::complete(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = estimate_hmax(&g, &CobraWalk::standard(), 10, 20, 10_000, &mut rng);
+        // On K_8 the 2-cobra hits any fixed vertex in a handful of rounds.
+        assert!(h >= 1.0);
+        assert!(h < 30.0, "h_max estimate {h} way too large for K8");
+    }
+
+    #[test]
+    fn matthews_ratio_is_finite_and_positive() {
+        let r = matthews_ratio(100.0, 10.0, 64);
+        assert!(r > 0.0 && r.is_finite());
+        // cover = hmax·ln n gives ratio 1.
+        let n = 64usize;
+        let r1 = matthews_ratio(10.0 * (n as f64).ln(), 10.0, n);
+        assert!((r1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cobra_cover_beats_simple_walk_on_cycle() {
+        // Sanity: 2-cobra covers the cycle about quadratically faster.
+        let g = classic::cycle(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let trials = 5;
+        let mut cobra_total = 0usize;
+        let mut rw_total = 0usize;
+        for _ in 0..trials {
+            cobra_total += CoverDriver::new(&g)
+                .run(&CobraWalk::standard(), 0, 1_000_000, &mut rng)
+                .unwrap()
+                .steps;
+            rw_total += CoverDriver::new(&g)
+                .run(&SimpleWalk::new(), 0, 1_000_000, &mut rng)
+                .unwrap()
+                .steps;
+        }
+        assert!(
+            cobra_total * 3 < rw_total,
+            "cobra {cobra_total} not clearly faster than simple {rw_total}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The process abstraction shared by every walk variant.
+//!
+//! A [`Process`] is an immutable *specification* (e.g. "the 2-cobra walk");
+//! [`Process::spawn`] creates the mutable per-run [`ProcessState`]. The
+//! split exists so the Monte-Carlo engine can share one specification
+//! across rayon worker threads while each trial owns its own state.
+
+use cobra_graph::{Graph, Vertex};
+use rand::Rng;
+
+/// An immutable specification of a walk process on a graph.
+pub trait Process: Sync {
+    /// Human-readable name used in result tables (e.g. `"cobra(k=2)"`).
+    fn name(&self) -> String;
+
+    /// Create a fresh run of the process with its initial pebble(s)/token(s)
+    /// at `start`.
+    fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState>;
+}
+
+/// The mutable state of one run of a process.
+///
+/// The driver contract is:
+///
+/// 1. immediately after [`Process::spawn`], [`ProcessState::occupied`]
+///    describes the initial configuration (typically `[start]`);
+/// 2. each call to [`ProcessState::step`] advances the process one round;
+/// 3. after each step, [`ProcessState::occupied`] lists the vertices that
+///    are *active* in that round (duplicates allowed — e.g. Walt reports
+///    one entry per pebble). The driver unions these over time to compute
+///    coverage, matching the paper's definition of the cover time as the
+///    first `T` with `⋃_{t ≤ T} S_t = V`.
+pub trait ProcessState {
+    /// Advance one round.
+    fn step(&mut self, g: &Graph, rng: &mut dyn Rng);
+
+    /// Vertices occupied after the last step (or the initial configuration
+    /// before any step). May contain duplicates.
+    fn occupied(&self) -> &[Vertex];
+
+    /// Number of tokens the process currently maintains; used by
+    /// experiments that track active-set growth (e.g. the exponential
+    /// growth phase on expanders). Defaults to `occupied().len()`.
+    fn support_size(&self) -> usize {
+        self.occupied().len()
+    }
+}
+
+/// Blanket impl so `&T` specifications can be passed around cheaply.
+impl<T: Process + ?Sized> Process for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
+        (**self).spawn(g, start)
+    }
+}
+
+/// Draw a uniformly random neighbor of `v`. Panics if `v` is isolated —
+/// every process in the paper is defined on connected graphs, so an
+/// isolated vertex is a caller bug worth failing loudly on.
+#[inline]
+pub fn random_neighbor(g: &Graph, v: Vertex, rng: &mut dyn Rng) -> Vertex {
+    let ns = g.neighbors(v);
+    assert!(!ns.is_empty(), "vertex {v} has no neighbors");
+    // Sample an index in 0..deg(v) without the RngExt machinery to keep
+    // this hot path monomorphic over `dyn Rng`.
+    ns[sample_index(ns.len(), rng)]
+}
+
+/// Uniform index in `0..len` from a `dyn Rng` using Lemire-style rejection;
+/// unbiased and branch-light.
+#[inline]
+pub fn sample_index(len: usize, rng: &mut dyn Rng) -> usize {
+    debug_assert!(len > 0);
+    let len = len as u64;
+    // Widening-multiply rejection sampling.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(len as u128);
+    let mut lo = m as u64;
+    if lo < len {
+        let threshold = len.wrapping_neg() % len;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128).wrapping_mul(len as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as usize
+}
+
+/// A fair coin from a `dyn Rng`.
+#[inline]
+pub fn coin(rng: &mut dyn Rng) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+/// Bernoulli(p) from a `dyn Rng`.
+#[inline]
+pub fn bernoulli(p: f64, rng: &mut dyn Rng) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p));
+    // 53-bit uniform in [0,1).
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::classic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_index_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let len = 7;
+        let trials = 70_000;
+        let mut counts = vec![0usize; len];
+        for _ in 0..trials {
+            counts[sample_index(len, &mut rng)] += 1;
+        }
+        let expect = trials as f64 / len as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_index_len_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(sample_index(1, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn random_neighbor_stays_adjacent() {
+        let g = classic::cycle(9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let u = random_neighbor(&g, 4, &mut rng);
+            assert!(g.has_edge(4, u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbors")]
+    fn random_neighbor_panics_on_isolated() {
+        let g = cobra_graph::Graph::empty(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        random_neighbor(&g, 0, &mut rng);
+    }
+
+    #[test]
+    fn bernoulli_frequencies() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 50_000;
+        for p in [0.0, 0.25, 0.5, 1.0] {
+            let hits = (0..trials).filter(|_| bernoulli(p, &mut rng)).count();
+            let freq = hits as f64 / trials as f64;
+            assert!((freq - p).abs() < 0.02, "p = {p}, freq = {freq}");
+        }
+    }
+
+    #[test]
+    fn coin_is_fair() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 50_000;
+        let heads = (0..trials).filter(|_| coin(&mut rng)).count();
+        assert!((heads as f64 / trials as f64 - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,337 @@
+//! The multi-dimensional drift chain from the proof of Theorem 3 (§3) —
+//! what the paper calls "a discrete time queueing system, where customers
+//! arrive and wait at a randomly chosen queue, where the arrival rate is
+//! slightly smaller than the departure rate".
+//!
+//! The chain tracks, per grid dimension `i`, the distance `z_i ∈ [0, n]`
+//! between a pessimistically-chosen single cobra pebble and the target
+//! vertex. Each round two candidate moves are generated — each an
+//! independent (uniform dimension, uniform ±1 direction) pair, modelling
+//! the two pebbles spawned by the 2-cobra walk — and **one** is kept
+//! according to the paper's selection rules:
+//!
+//! * both moves in the same dimension: keep a distance-decreasing one if
+//!   it exists;
+//! * moves in dimensions `i ≠ j` with `z_i = 0, z_j ≠ 0`: keep the `j`
+//!   move;
+//! * `z_i = z_j = 0`: keep either (uniformly);
+//! * `z_i ≠ 0 ≠ z_j` and both moves decrease or both increase: keep
+//!   either (uniformly); otherwise keep the decreasing one.
+//!
+//! Lemma 4's drift numbers fall out of these rules (e.g. conditioned on a
+//! nonzero dimension changing in the worst case, it decreases with
+//! probability `1/2 + 1/(8d−4)`), and Lemma 5's claim is that the chain
+//! empties (all `z_i = 0`) within `O(d²n)` rounds w.h.p.
+
+use crate::process::{coin, sample_index};
+use rand::Rng;
+
+/// The drift chain state: per-dimension distances with a reflecting
+/// boundary at 0 (distance `|·|` can only grow to 1) and a cap at `n`
+/// (the grid is finite).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DriftChain {
+    z: Vec<u32>,
+    cap: u32,
+}
+
+/// One candidate move: dimension and direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Move {
+    dim: usize,
+    /// `true` = the underlying pebble steps toward larger coordinate
+    /// difference; applied through the distance dynamics below.
+    away: bool,
+}
+
+impl DriftChain {
+    /// Start with the given per-dimension distances, capped at `cap`.
+    pub fn new(z: Vec<u32>, cap: u32) -> Self {
+        assert!(!z.is_empty(), "need at least one dimension");
+        assert!(z.iter().all(|&zi| zi <= cap), "initial distances exceed cap");
+        DriftChain { z, cap }
+    }
+
+    /// Start with every dimension at distance `z0` in `d` dimensions.
+    pub fn uniform(d: usize, z0: u32, cap: u32) -> Self {
+        Self::new(vec![z0; d], cap)
+    }
+
+    /// Current per-dimension distances.
+    pub fn distances(&self) -> &[u32] {
+        &self.z
+    }
+
+    /// Number of dimensions `d`.
+    pub fn dims(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Whether all dimensions are at distance 0 (the "queue is empty" /
+    /// target-reached state).
+    pub fn is_empty(&self) -> bool {
+        self.z.iter().all(|&zi| zi == 0)
+    }
+
+    /// Total distance `Σ z_i` (the Manhattan distance to the target).
+    pub fn total(&self) -> u64 {
+        self.z.iter().map(|&zi| zi as u64).sum()
+    }
+
+    fn sample_move(&self, rng: &mut dyn Rng) -> Move {
+        Move { dim: sample_index(self.dims(), rng), away: coin(rng) }
+    }
+
+    /// The distance after applying `m` to the current state (the state is
+    /// not modified).
+    fn resulting_distance(&self, m: Move) -> u32 {
+        let zi = self.z[m.dim];
+        if zi == 0 {
+            1 // reflecting: any move in a matched dimension opens distance 1
+        } else if m.away {
+            (zi + 1).min(self.cap)
+        } else {
+            zi - 1
+        }
+    }
+
+    /// Whether `m` strictly decreases its dimension's distance.
+    fn decreases(&self, m: Move) -> bool {
+        self.resulting_distance(m) < self.z[m.dim]
+    }
+
+    /// Advance one round: sample two candidate moves and keep one per the
+    /// paper's rules. Returns the dimension that changed (or `None` when
+    /// the kept move was absorbed by the cap).
+    pub fn step(&mut self, rng: &mut dyn Rng) -> Option<usize> {
+        let a = self.sample_move(rng);
+        let b = self.sample_move(rng);
+        let chosen = self.choose(a, b, rng);
+        let before = self.z[chosen.dim];
+        let after = self.resulting_distance(chosen);
+        self.z[chosen.dim] = after;
+        (after != before).then_some(chosen.dim)
+    }
+
+    /// The paper's selection rule between two candidate moves.
+    fn choose(&self, a: Move, b: Move, rng: &mut dyn Rng) -> Move {
+        if a.dim == b.dim {
+            // Same dimension: prefer a decreasing move if either is.
+            return if self.decreases(a) {
+                a
+            } else if self.decreases(b) {
+                b
+            } else if coin(rng) {
+                a
+            } else {
+                b
+            };
+        }
+        let (za, zb) = (self.z[a.dim], self.z[b.dim]);
+        match (za == 0, zb == 0) {
+            (true, false) => b,
+            (false, true) => a,
+            (true, true) => {
+                if coin(rng) {
+                    a
+                } else {
+                    b
+                }
+            }
+            (false, false) => {
+                let (da, db) = (self.decreases(a), self.decreases(b));
+                match (da, db) {
+                    (true, false) => a,
+                    (false, true) => b,
+                    _ => {
+                        if coin(rng) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run until empty or `max_steps`; returns the emptying round if it
+    /// happened.
+    pub fn time_to_empty(&mut self, max_steps: usize, rng: &mut dyn Rng) -> Option<usize> {
+        if self.is_empty() {
+            return Some(0);
+        }
+        for t in 1..=max_steps {
+            self.step(rng);
+            if self.is_empty() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// One-step statistics of the drift chain from a fixed state, estimated by
+/// Monte Carlo: for dimension `dim`, returns
+/// `(P[z_dim changes], P[decrease | change])`.
+///
+/// Used by experiment E2 to check Lemma 4's bounds (change probability at
+/// least `1/(2d−1)`; conditional decrease at least `1/2 + 1/(8d−4)`).
+pub fn one_step_stats(
+    state: &DriftChain,
+    dim: usize,
+    trials: usize,
+    rng: &mut dyn Rng,
+) -> (f64, f64) {
+    let mut changed = 0usize;
+    let mut decreased = 0usize;
+    for _ in 0..trials {
+        let mut chain = state.clone();
+        let before = chain.z[dim];
+        chain.step(rng);
+        let after = chain.z[dim];
+        if after != before {
+            changed += 1;
+            if after < before {
+                decreased += 1;
+            }
+        }
+    }
+    let p_change = changed as f64 / trials as f64;
+    let p_dec = if changed == 0 { 0.0 } else { decreased as f64 / changed as f64 };
+    (p_change, p_dec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = DriftChain::uniform(3, 5, 10);
+        assert_eq!(c.dims(), 3);
+        assert_eq!(c.distances(), &[5, 5, 5]);
+        assert_eq!(c.total(), 15);
+        assert!(!c.is_empty());
+        let empty = DriftChain::uniform(2, 0, 10);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed cap")]
+    fn rejects_out_of_cap_start() {
+        DriftChain::new(vec![11], 10);
+    }
+
+    #[test]
+    fn step_changes_distance_by_at_most_one() {
+        let mut c = DriftChain::uniform(3, 4, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let before = c.distances().to_vec();
+            c.step(&mut rng);
+            let after = c.distances();
+            let mut delta_total = 0u32;
+            for (b, a) in before.iter().zip(after) {
+                delta_total += b.abs_diff(*a);
+            }
+            assert!(delta_total <= 1, "one round moves one dimension by one");
+        }
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let mut c = DriftChain::uniform(2, 3, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            c.step(&mut rng);
+            assert!(c.distances().iter().all(|&z| z <= 3));
+        }
+    }
+
+    #[test]
+    fn zero_state_bounces_to_one_sometimes() {
+        let mut c = DriftChain::uniform(1, 0, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        c.step(&mut rng);
+        // In 1 dimension both candidate moves are in dim 0 with z=0, so the
+        // kept move must open distance 1.
+        assert_eq!(c.distances(), &[1]);
+    }
+
+    #[test]
+    fn drift_empties_chain_in_linear_time() {
+        // Lemma 5: from z0 <= n, each dimension empties in O(d²n) steps whp.
+        let d = 2;
+        let n = 40u32;
+        let mut rng = StdRng::seed_from_u64(4);
+        let budget = 64 * (d * d) as usize * n as usize;
+        let mut successes = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let mut c = DriftChain::uniform(d, n, n);
+            if c.time_to_empty(budget, &mut rng).is_some() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= trials - 2,
+            "chain emptied only {successes}/{trials} times within O(d²n)"
+        );
+    }
+
+    #[test]
+    fn one_step_worst_case_matches_lemma4() {
+        // Worst case for dimension 0: z_0 ≠ 0, all other dimensions 0.
+        // Lemma 4 computes: conditioned on z_0 changing, it decreases with
+        // probability exactly (d − 1/4)/(2d − 1) = 1/2 + 1/(8d−4), and the
+        // change probability is (2d−1)/d² ≥ 1/(2d−1)… for the interior
+        // (no cap/boundary effects).
+        let d = 3;
+        let mut z = vec![0u32; d];
+        z[0] = 10; // far from both boundaries
+        let state = DriftChain::new(z, 100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (p_change, p_dec) = one_step_stats(&state, 0, 200_000, &mut rng);
+
+        let d_f = d as f64;
+        let expect_change = (2.0 * d_f - 1.0) / (d_f * d_f);
+        let expect_dec = (d_f - 0.25) / (2.0 * d_f - 1.0);
+        assert!(
+            (p_change - expect_change).abs() < 0.01,
+            "P[change] = {p_change}, expected {expect_change}"
+        );
+        assert!(
+            (p_dec - expect_dec).abs() < 0.01,
+            "P[dec|change] = {p_dec}, expected {expect_dec}"
+        );
+    }
+
+    #[test]
+    fn one_step_all_nonzero_has_stronger_drift() {
+        // When every dimension is nonzero the conditional decrease
+        // probability is at least the worst-case bound.
+        let d = 3;
+        let state = DriftChain::uniform(d, 10, 100);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (_, p_dec) = one_step_stats(&state, 0, 100_000, &mut rng);
+        let floor = 0.5 + 1.0 / (8.0 * d as f64 - 4.0);
+        assert!(p_dec >= floor - 0.02, "P[dec|change] = {p_dec} below {floor}");
+    }
+
+    #[test]
+    fn time_to_empty_zero_for_empty_start() {
+        let mut c = DriftChain::uniform(4, 0, 10);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(c.time_to_empty(100, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn time_to_empty_none_when_budget_too_small() {
+        let mut c = DriftChain::uniform(2, 50, 50);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(c.time_to_empty(3, &mut rng), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! The two-stage process of the prior work's analysis, §4 of the paper:
+//!
+//! > "In \[13\], the analysis was broken up into two stages. In the first
+//! > stage, a cobra walk process was analyzed directly and it was shown
+//! > that after O(log n) rounds, the size of the cobra walk went from 1
+//! > vertex in the active set to δn vertices […]. Once the cobra walk
+//! > reaches δn active vertices, we replace the cobra walk with a Walt
+//! > in which we position one Walt pebble at each vertex that was active
+//! > in the cobra walk at the time at which we perform the swap."
+//!
+//! [`TwoStageProcess`] implements exactly that hybrid: a cobra walk runs
+//! until its active set first reaches `⌈δ·n⌉` vertices, then a Walt
+//! process takes over with one pebble per active vertex. The paper's
+//! contribution is precisely that this swap (and its high-expansion
+//! requirement for stage 1) can be *avoided* — Lemma 10 lets the whole
+//! analysis run on Walt alone — so this type exists to reproduce the
+//! *prior* analysis pipeline and compare it against the paper's.
+
+use crate::cobra::CobraWalk;
+use crate::process::{Process, ProcessState};
+use crate::walt::WaltProcess;
+use cobra_graph::{Graph, Vertex};
+use rand::Rng;
+
+/// Hybrid process: cobra walk until `⌈δ·n⌉` active vertices, then Walt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwoStageProcess {
+    branching_factor: u32,
+    delta: f64,
+    lazy_walt: bool,
+}
+
+impl TwoStageProcess {
+    /// Stage 1: `k`-cobra walk; swap at `⌈δ·n⌉` active vertices;
+    /// stage 2: Walt (lazy as in the paper).
+    pub fn new(branching_factor: u32, delta: f64) -> Self {
+        assert!(branching_factor >= 1, "branching factor must be >= 1");
+        assert!(delta > 0.0 && delta <= 0.5, "paper requires 0 < δ ≤ 1/2");
+        TwoStageProcess { branching_factor, delta, lazy_walt: true }
+    }
+
+    /// Toggle stage-2 laziness (paper default: lazy).
+    pub fn lazy_walt(mut self, lazy: bool) -> Self {
+        self.lazy_walt = lazy;
+        self
+    }
+
+    /// The swap threshold for a graph on `n` vertices.
+    pub fn swap_threshold(&self, n: usize) -> usize {
+        ((self.delta * n as f64).ceil() as usize).clamp(1, n)
+    }
+}
+
+impl Process for TwoStageProcess {
+    fn name(&self) -> String {
+        format!(
+            "two-stage(cobra k={} → walt δ={}{})",
+            self.branching_factor,
+            self.delta,
+            if self.lazy_walt { ",lazy" } else { "" }
+        )
+    }
+
+    fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        let cobra = CobraWalk::new(self.branching_factor).spawn(g, start);
+        Box::new(TwoStageState {
+            threshold: self.swap_threshold(g.num_vertices()),
+            lazy_walt: self.lazy_walt,
+            stage: Stage::Growing(cobra),
+            swapped_at: None,
+            rounds: 0,
+        })
+    }
+}
+
+enum Stage {
+    Growing(Box<dyn ProcessState>),
+    Walting(Box<dyn ProcessState>),
+}
+
+/// Running state; exposes which round the swap happened for diagnostics.
+struct TwoStageState {
+    threshold: usize,
+    lazy_walt: bool,
+    stage: Stage,
+    swapped_at: Option<usize>,
+    rounds: usize,
+}
+
+impl ProcessState for TwoStageState {
+    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+        self.rounds += 1;
+        match &mut self.stage {
+            Stage::Growing(cobra) => {
+                cobra.step(g, rng);
+                if cobra.occupied().len() >= self.threshold {
+                    // The swap: one Walt pebble per active vertex.
+                    let positions = cobra.occupied().to_vec();
+                    let walt = WaltProcess::with_count(positions.len())
+                        .lazy(self.lazy_walt)
+                        .spawn_at_positions(g, positions);
+                    self.swapped_at = Some(self.rounds);
+                    self.stage = Stage::Walting(walt);
+                }
+            }
+            Stage::Walting(walt) => walt.step(g, rng),
+        }
+    }
+
+    fn occupied(&self) -> &[Vertex] {
+        match &self.stage {
+            Stage::Growing(s) => s.occupied(),
+            Stage::Walting(s) => s.occupied(),
+        }
+    }
+
+    fn support_size(&self) -> usize {
+        match &self.stage {
+            Stage::Growing(s) => s.support_size(),
+            Stage::Walting(s) => s.support_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::CoverDriver;
+    use cobra_graph::generators::{classic, hypercube};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn swap_threshold_calculation() {
+        let p = TwoStageProcess::new(2, 0.5);
+        assert_eq!(p.swap_threshold(100), 50);
+        assert_eq!(p.swap_threshold(3), 2);
+        assert_eq!(p.swap_threshold(1), 1);
+        let p = TwoStageProcess::new(2, 0.25);
+        assert_eq!(p.swap_threshold(100), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ")]
+    fn rejects_large_delta() {
+        TwoStageProcess::new(2, 0.8);
+    }
+
+    #[test]
+    fn name_describes_both_stages() {
+        let p = TwoStageProcess::new(2, 0.5);
+        assert!(p.name().contains("cobra k=2"));
+        assert!(p.name().contains("walt"));
+    }
+
+    #[test]
+    fn stage_two_conserves_pebble_count() {
+        // After the swap, the support/occupied count is frozen at the
+        // swap-time active-set size.
+        let g = classic::complete(64).unwrap();
+        let spec = TwoStageProcess::new(2, 0.25);
+        let mut st = spec.spawn(&g, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Run long enough to guarantee the swap on K64 (growth is fast).
+        for _ in 0..50 {
+            st.step(&g, &mut rng);
+        }
+        let frozen = st.occupied().len();
+        assert!(frozen >= 16, "swap at δn = 16 pebbles, got {frozen}");
+        for _ in 0..50 {
+            st.step(&g, &mut rng);
+            assert_eq!(st.occupied().len(), frozen, "Walt stage must conserve pebbles");
+        }
+    }
+
+    #[test]
+    fn covers_the_graph() {
+        let g = hypercube::hypercube(6);
+        let spec = TwoStageProcess::new(2, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = CoverDriver::new(&g)
+            .run(&spec, 0, 1_000_000, &mut rng)
+            .unwrap();
+        assert!(res.completed, "two-stage process must cover the hypercube");
+    }
+
+    #[test]
+    fn two_stage_is_slower_than_pure_cobra() {
+        // Dominance sanity: replacing the branching tail with Walt can
+        // only hurt (Lemma 10 applied from the swap point).
+        let g = hypercube::hypercube(6);
+        let trials = 60;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cobra_total = 0usize;
+        let mut two_total = 0usize;
+        for _ in 0..trials {
+            cobra_total += CoverDriver::new(&g)
+                .run(&CobraWalk::standard(), 0, 1_000_000, &mut rng)
+                .unwrap()
+                .steps;
+            two_total += CoverDriver::new(&g)
+                .run(&TwoStageProcess::new(2, 0.5), 0, 1_000_000, &mut rng)
+                .unwrap()
+                .steps;
+        }
+        assert!(
+            two_total as f64 >= 0.95 * cobra_total as f64,
+            "two-stage {two_total} unexpectedly faster than cobra {cobra_total}"
+        );
+    }
+
+    #[test]
+    fn eager_walt_stage_works_too() {
+        let g = classic::complete(32).unwrap();
+        let spec = TwoStageProcess::new(2, 0.5).lazy_walt(false);
+        let mut rng = StdRng::seed_from_u64(4);
+        let res = CoverDriver::new(&g)
+            .run(&spec, 0, 100_000, &mut rng)
+            .unwrap();
+        assert!(res.completed);
+    }
+}

@@ -1,0 +1,216 @@
+//! Edge-list builder producing validated CSR [`Graph`]s.
+
+use crate::csr::{Graph, Vertex};
+use crate::error::{GraphError, Result};
+
+/// Accumulates undirected edges and produces a simple [`Graph`].
+///
+/// The builder symmetrizes edges (adding `(u, v)` also records `(v, u)`),
+/// sorts adjacency lists, and by default **deduplicates** repeated edges
+/// silently (generators of random multigraph-style constructions, e.g. the
+/// pairing model, rely on this). Use [`GraphBuilder::strict`] to instead
+/// fail on duplicates, which is useful when the edge list is supposed to be
+/// duplicate-free by construction.
+///
+/// Self-loops are always rejected: every process in the paper is defined on
+/// simple graphs (a pebble "chooses a neighbor").
+///
+/// # Example
+///
+/// ```
+/// use cobra_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// b.add_edge(2, 3).unwrap();
+/// b.add_edge(3, 0).unwrap();
+/// let cycle = b.build().unwrap();
+/// assert_eq!(cycle.num_edges(), 4);
+/// assert_eq!(cycle.regularity(), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Directed half-edges; both directions pushed per added edge.
+    half_edges: Vec<(Vertex, Vertex)>,
+    strict: bool,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, half_edges: Vec::new(), strict: false }
+    }
+
+    /// Create a builder that pre-allocates for `m` expected edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, half_edges: Vec::with_capacity(2 * m), strict: false }
+    }
+
+    /// Make [`GraphBuilder::build`] fail with [`GraphError::DuplicateEdge`]
+    /// if the same undirected edge was added more than once.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edge insertions so far (before dedup).
+    pub fn num_added_edges(&self) -> usize {
+        self.half_edges.len() / 2
+    }
+
+    /// Add the undirected edge `(u, v)`.
+    ///
+    /// Errors if either endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<()> {
+        if (u as usize) >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u as u64, num_vertices: self.n });
+        }
+        if (v as usize) >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v as u64, num_vertices: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        self.half_edges.push((u, v));
+        self.half_edges.push((v, u));
+        Ok(())
+    }
+
+    /// Add every edge from an iterator, stopping at the first error.
+    pub fn add_edges<I: IntoIterator<Item = (Vertex, Vertex)>>(&mut self, it: I) -> Result<()> {
+        for (u, v) in it {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Finalize into a CSR [`Graph`].
+    ///
+    /// Cost: O(m log m) for the sort; memory: the half-edge list plus the
+    /// CSR arrays.
+    pub fn build(self) -> Result<Graph> {
+        if self.n > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices { requested: self.n as u64 });
+        }
+        let mut half = self.half_edges;
+        half.sort_unstable();
+
+        // Detect duplicates before dedup if strict.
+        if self.strict {
+            if let Some(w) = half.windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge { u: w[0].0, v: w[0].1 });
+            }
+        }
+        half.dedup();
+
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _) in &half {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<Vertex> = half.iter().map(|&(_, v)| v).collect();
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+/// Convenience: build a graph directly from an edge list.
+///
+/// ```
+/// let g = cobra_graph::builder::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Result<Graph> {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.add_edges(edges.iter().copied())?;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_path() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(0, 2).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 2, num_vertices: 2 });
+        let err = b.add_edge(7, 0).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 7, num_vertices: 2 });
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { vertex: 1 });
+    }
+
+    #[test]
+    fn dedups_by_default() {
+        let g = from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn strict_rejects_duplicates() {
+        let mut b = GraphBuilder::new(2).strict();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn strict_accepts_unique_edges() {
+        let mut b = GraphBuilder::new(3).strict();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = from_edges(5, &[(3, 1), (4, 0), (2, 4), (1, 0)]).unwrap();
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &u in ns {
+                assert!(g.has_edge(u, v), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.num_added_edges(), 1);
+        assert_eq!(b.num_vertices(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

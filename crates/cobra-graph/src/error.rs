@@ -1,0 +1,119 @@
+//! Error types for graph construction and validation.
+
+use std::fmt;
+
+/// Result alias used throughout `cobra-graph`.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised while building or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph being built.
+        num_vertices: usize,
+    },
+    /// A self-loop `(v, v)` was supplied to a builder configured to reject
+    /// them. Walk processes in the paper are defined on simple graphs.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: u32,
+    },
+    /// A duplicate edge was supplied to a builder configured to reject them.
+    DuplicateEdge {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// Graph parameters were invalid (e.g. a `d`-regular graph with `n*d`
+    /// odd, or a grid with zero dimensions).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The number of vertices would exceed the `u32` id space.
+    TooManyVertices {
+        /// The requested vertex count.
+        requested: u64,
+    },
+    /// A random construction failed to produce a valid instance within its
+    /// retry budget (e.g. pairing-model regular graph rejection sampling).
+    GenerationFailed {
+        /// Description of the construction that failed.
+        what: String,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} not allowed")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v}) not allowed")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid graph parameter: {reason}")
+            }
+            GraphError::TooManyVertices { requested } => write!(
+                f,
+                "requested {requested} vertices, exceeding the u32 id space"
+            ),
+            GraphError::GenerationFailed { what, attempts } => write!(
+                f,
+                "random generation of {what} failed after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 5 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("duplicate"));
+
+        let e = GraphError::InvalidParameter { reason: "n*d must be even".into() };
+        assert!(e.to_string().contains("n*d must be even"));
+
+        let e = GraphError::TooManyVertices { requested: u64::MAX };
+        assert!(e.to_string().contains("u32"));
+
+        let e = GraphError::GenerationFailed { what: "3-regular graph".into(), attempts: 7 };
+        assert!(e.to_string().contains("7"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 1 }
+        );
+        assert_ne!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 2 }
+        );
+    }
+}

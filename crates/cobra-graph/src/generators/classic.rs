@@ -1,0 +1,278 @@
+//! Classic deterministic families: path, cycle, complete, star, lollipop,
+//! barbell, and ring of cliques.
+//!
+//! Roles in the paper:
+//!
+//! * **star** — the §6 conclusion notes the star shows the worst-case cobra
+//!   cover time is Ω(n log n) (every round covers leaves coupon-collector
+//!   style from the hub);
+//! * **lollipop** — the standard witness that simple random walks have
+//!   Θ(n³) worst-case cover time (Feige), the benchmark Theorem 20's
+//!   O(n^{11/4} log n) cobra bound is measured against;
+//! * **ring of cliques / barbell** — low-conductance `≈d`-regular families
+//!   used to stress the Φ⁻² dependence of Theorem 8;
+//! * **complete** — sanity baseline (coupon collector: Θ(n log n) for the
+//!   simple walk, Θ(log n) active-set doubling for the cobra walk);
+//! * **path / cycle** — 1-dimensional grid/torus baselines.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Vertex};
+use crate::error::{GraphError, Result};
+
+/// The path on `n` vertices (`n - 1` edges).
+pub fn path(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "path needs n >= 1".into() });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) as Vertex, v as Vertex)?;
+    }
+    b.build()
+}
+
+/// The cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter { reason: "cycle needs n >= 3".into() });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 0..n {
+        b.add_edge(v as Vertex, ((v + 1) % n) as Vertex)?;
+    }
+    b.build()
+}
+
+/// The complete graph on `n ≥ 2` vertices.
+pub fn complete(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter { reason: "complete graph needs n >= 2".into() });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as Vertex, v as Vertex)?;
+        }
+    }
+    b.build()
+}
+
+/// The star with one hub (vertex 0) and `n - 1` leaves.
+///
+/// The §6 lower-bound witness: from the hub, a 2-cobra walk can inform at
+/// most 2 fresh leaves every 2 rounds, and coupon-collector effects make
+/// covering all leaves take Ω(n log n).
+pub fn star(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter { reason: "star needs n >= 2".into() });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(0, v as Vertex)?;
+    }
+    b.build()
+}
+
+/// The lollipop graph: a clique on `⌈n/2⌉` vertices with a path of
+/// `⌊n/2⌋` additional vertices attached to clique vertex 0.
+///
+/// For the **simple** random walk this family achieves the Θ(n³) worst-case
+/// cover time; Theorem 20 shows the 2-cobra walk does strictly better
+/// (O(n^{11/4} log n)). Experiment E8 measures both.
+///
+/// Vertices `0..⌈n/2⌉` form the clique; `⌈n/2⌉..n` form the path hanging
+/// off vertex 0.
+pub fn lollipop(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter { reason: "lollipop needs n >= 3".into() });
+    }
+    let clique = n.div_ceil(2);
+    let mut b = GraphBuilder::with_capacity(n, clique * (clique - 1) / 2 + n - clique);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b.add_edge(u as Vertex, v as Vertex)?;
+        }
+    }
+    // Path: 0 - clique - clique+1 - ... - n-1
+    let mut prev = 0usize;
+    for v in clique..n {
+        b.add_edge(prev as Vertex, v as Vertex)?;
+        prev = v;
+    }
+    b.build()
+}
+
+/// The barbell graph: two cliques of size `clique` joined by a path of
+/// `bridge` intermediate vertices (`bridge = 0` joins them by a single
+/// edge). Total `2·clique + bridge` vertices.
+///
+/// A classic low-conductance family: `Φ = Θ(1/clique²)` when `bridge` is
+/// small, stressing the `Φ⁻²` factor of Theorem 8.
+pub fn barbell(clique: usize, bridge: usize) -> Result<Graph> {
+    if clique < 2 {
+        return Err(GraphError::InvalidParameter { reason: "barbell needs clique >= 2".into() });
+    }
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::with_capacity(n, clique * (clique - 1) + bridge + 1);
+    // Left clique: 0..clique. Right clique: clique..2*clique.
+    for side in 0..2 {
+        let base = side * clique;
+        for u in 0..clique {
+            for v in (u + 1)..clique {
+                b.add_edge((base + u) as Vertex, (base + v) as Vertex)?;
+            }
+        }
+    }
+    // Bridge path from vertex 0 (left) to vertex `clique` (right).
+    let mut prev = 0usize;
+    for i in 0..bridge {
+        let w = 2 * clique + i;
+        b.add_edge(prev as Vertex, w as Vertex)?;
+        prev = w;
+    }
+    b.add_edge(prev as Vertex, clique as Vertex)?;
+    b.build()
+}
+
+/// A ring of `cliques` cliques, each of size `size ≥ 3`, where consecutive
+/// cliques around the ring are joined by a single edge.
+///
+/// Nearly regular (degrees `size-1` or `size+1`... precisely: two vertices
+/// per clique carry ring edges, so degrees are `size - 1` or `size`), with
+/// conductance `Θ(1/(cliques · size²))·size` — a tunable low-conductance
+/// family for Theorem 8 (E3).
+pub fn ring_of_cliques(cliques: usize, size: usize) -> Result<Graph> {
+    if cliques < 3 {
+        return Err(GraphError::InvalidParameter { reason: "ring needs >= 3 cliques".into() });
+    }
+    if size < 3 {
+        return Err(GraphError::InvalidParameter { reason: "cliques need size >= 3".into() });
+    }
+    let n = cliques * size;
+    let mut b = GraphBuilder::with_capacity(n, cliques * (size * (size - 1) / 2 + 1));
+    for c in 0..cliques {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                b.add_edge((base + u) as Vertex, (base + v) as Vertex)?;
+            }
+        }
+        // Connector: vertex 1 of clique c to vertex 0 of clique c+1.
+        let next_base = ((c + 1) % cliques) * size;
+        b.add_edge((base + 1) as Vertex, next_base as Vertex)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn path_structure() {
+        let g = path(5).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(metrics::is_connected(&g));
+        assert_eq!(metrics::diameter(&g).unwrap(), 4);
+    }
+
+    #[test]
+    fn path_singleton() {
+        let g = path(1).unwrap();
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.regularity(), Some(2));
+        assert_eq!(metrics::diameter(&g).unwrap(), 3);
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.regularity(), Some(5));
+        assert_eq!(metrics::diameter(&g).unwrap(), 1);
+        assert!(complete(1).is_err());
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(10).unwrap();
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 9);
+        for v in 1..10u32 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert_eq!(metrics::diameter(&g).unwrap(), 2);
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(10).unwrap(); // clique of 5, path of 5
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 5 * 4 / 2 + 5);
+        assert!(metrics::is_connected(&g));
+        // Clique-interior vertices have degree 4; vertex 0 carries the path.
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(1), 4);
+        // Path end is a leaf.
+        assert_eq!(g.degree(9), 1);
+        assert!(lollipop(2).is_err());
+    }
+
+    #[test]
+    fn lollipop_odd_n() {
+        let g = lollipop(7).unwrap(); // clique of 4, path of 3
+        assert_eq!(g.num_vertices(), 7);
+        assert!(metrics::is_connected(&g));
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 2).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        // 2 cliques of 6 edges + 3 bridge edges
+        assert_eq!(g.num_edges(), 15);
+        assert!(metrics::is_connected(&g));
+        assert!(barbell(1, 0).is_err());
+    }
+
+    #[test]
+    fn barbell_direct_bridge() {
+        let g = barbell(3, 0).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert!(g.has_edge(0, 3));
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(4, 5).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * (10 + 1));
+        assert!(metrics::is_connected(&g));
+        // Degrees are size-1 = 4 (plain) or 5 (connector endpoints).
+        let mut counts = [0usize; 2];
+        for v in g.vertices() {
+            match g.degree(v) {
+                4 => counts[0] += 1,
+                5 => counts[1] += 1,
+                d => panic!("unexpected degree {d}"),
+            }
+        }
+        assert_eq!(counts[1], 8); // two connector endpoints per clique
+        assert!(ring_of_cliques(2, 5).is_err());
+        assert!(ring_of_cliques(5, 2).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+//!
+//! Used in the general-graph experiments (E8/E9 context) as a "typical"
+//! non-structured input, and above the connectivity threshold
+//! `p = (1+ε)·ln n / n` as an expander-like family.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Vertex};
+use crate::error::{GraphError, Result};
+use rand::{Rng, RngExt};
+
+/// Sample `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes), so the cost is
+/// `O(n + m)` rather than `O(n²)` for sparse `p`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability p = {p} must be in [0, 1]"),
+        });
+    }
+    if n > u32::MAX as usize {
+        return Err(GraphError::TooManyVertices { requested: n as u64 });
+    }
+    let mut b = GraphBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u as Vertex, v as Vertex)?;
+            }
+        }
+        return b.build();
+    }
+
+    // Batagelj–Brandes: walk the strictly-upper-triangular cells in
+    // row-major order, skipping ahead by geometric(p) jumps.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.random();
+        // Geometric skip; r in [0,1), guard against ln(0).
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            b.add_edge(w as Vertex, v as Vertex)?;
+        }
+    }
+    b.build()
+}
+
+/// Sample `G(n, p)` repeatedly until the sample is connected (up to
+/// `attempts` tries). Convenient for walk experiments, which are defined on
+/// connected graphs.
+pub fn gnp_connected<R: Rng>(n: usize, p: f64, attempts: usize, rng: &mut R) -> Result<Graph> {
+    for _ in 0..attempts {
+        let g = gnp(n, p, rng)?;
+        if crate::metrics::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::GenerationFailed {
+        what: format!("connected G({n}, {p})"),
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_zero_gives_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = gnp(50, 0.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = gnp(20, 1.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn rejects_invalid_p() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(gnp(10, -0.1, &mut rng).is_err());
+        assert!(gnp(10, 1.5, &mut rng).is_err());
+        assert!(gnp(10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn edge_count_concentrates_around_mean() {
+        let n = 400;
+        let p = 0.05;
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gnp(n, p, &mut rng).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 6.0 * sd,
+            "edge count {m} too far from mean {expected}"
+        );
+    }
+
+    #[test]
+    fn small_graphs_ok() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gnp(1, 0.5, &mut rng).unwrap();
+        assert_eq!(g.num_vertices(), 1);
+        let g = gnp(0, 0.5, &mut rng).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        let g = gnp(2, 0.5, &mut rng).unwrap();
+        assert!(g.num_edges() <= 1);
+    }
+
+    #[test]
+    fn connected_variant_is_connected() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Well above the connectivity threshold.
+        let g = gnp_connected(100, 0.1, 50, &mut rng).unwrap();
+        assert!(crate::metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn connected_variant_gives_up() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // p = 0 can never be connected for n >= 2.
+        assert!(gnp_connected(10, 0.0, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = gnp(100, 0.05, &mut StdRng::seed_from_u64(3)).unwrap();
+        let g2 = gnp(100, 0.05, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,120 @@
+//! The Boolean hypercube — the paper's §4 names it as a prime example of a
+//! non-expander family with conductance good enough for Theorem 8 to give
+//! polylogarithmic cover time (`Φ = 1/d`, so the bound is `O(d^6 log² n)`).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Vertex};
+use crate::error::{GraphError, Result};
+
+/// The `dim`-dimensional Boolean hypercube on `2^dim` vertices.
+///
+/// Vertex ids are bit strings; `u ~ v` iff they differ in exactly one bit.
+/// The graph is `dim`-regular with conductance exactly `1/dim` (an isoperimetric
+/// fact used by the Theorem 8 experiment to pin `Φ_G` without estimation).
+///
+/// ```
+/// let q3 = cobra_graph::generators::hypercube(3);
+/// assert_eq!(q3.num_vertices(), 8);
+/// assert_eq!(q3.regularity(), Some(3));
+/// ```
+pub fn hypercube(dim: u32) -> Graph {
+    try_hypercube(dim).expect("valid hypercube dimension")
+}
+
+/// Fallible version of [`hypercube`]. Errors if `2^dim` exceeds the `u32`
+/// id space or `dim == 0`.
+pub fn try_hypercube(dim: u32) -> Result<Graph> {
+    if dim == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "hypercube dimension must be >= 1".into(),
+        });
+    }
+    if dim >= 31 {
+        return Err(GraphError::TooManyVertices { requested: 1u64 << dim });
+    }
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1usize << bit);
+            if u > v {
+                b.add_edge(v as Vertex, u as Vertex)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// The exact conductance of the `dim`-dimensional hypercube, `1/dim`
+/// (achieved by a subcube cut). Exposed so experiments can use the exact
+/// value instead of estimating it.
+pub fn hypercube_conductance(dim: u32) -> f64 {
+    1.0 / dim as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn q1_is_an_edge() {
+        let g = hypercube(1);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn q3_structure() {
+        let g = hypercube(3);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.regularity(), Some(3));
+        assert!(metrics::is_connected(&g));
+        // 0b000 is adjacent to 0b001, 0b010, 0b100.
+        assert_eq!(g.neighbors(0), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let g = hypercube(5);
+        for v in g.vertices() {
+            for u in g.neighbor_iter(v) {
+                assert_eq!((u ^ v).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        for dim in 1..10u32 {
+            let g = hypercube(dim);
+            let n = 1usize << dim;
+            assert_eq!(g.num_edges(), n * dim as usize / 2);
+        }
+    }
+
+    #[test]
+    fn subcube_cut_matches_declared_conductance() {
+        // Cut on the top bit: S = {v : top bit 0}. |∂S| = 2^{d-1},
+        // vol(S) = d·2^{d-1}, so φ(S) = 1/d.
+        let dim = 6u32;
+        let g = hypercube(dim);
+        let n = g.num_vertices();
+        let in_s = |v: u32| (v as usize) < n / 2;
+        let boundary = g
+            .edges()
+            .filter(|&(u, v)| in_s(u) != in_s(v))
+            .count();
+        let vol: usize = (0..n as u32).filter(|&v| in_s(v)).map(|v| g.degree(v)).sum();
+        let phi = boundary as f64 / vol as f64;
+        assert!((phi - hypercube_conductance(dim)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_dims() {
+        assert!(try_hypercube(0).is_err());
+        assert!(try_hypercube(31).is_err());
+        assert!(try_hypercube(40).is_err());
+    }
+}

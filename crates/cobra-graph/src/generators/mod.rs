@@ -1,0 +1,30 @@
+//! Graph generators for every family the paper mentions.
+//!
+//! | Module | Families | Where the paper uses them |
+//! |--------|----------|---------------------------|
+//! | [`mod@grid`] | `d`-dimensional grid `[0,n]^d`, torus | §3 (Theorem 3: cover time O(n)) |
+//! | [`mod@hypercube`] | Boolean hypercube | §4 (example of non-expander with good conductance) |
+//! | [`mod@trees`] | complete `k`-ary trees | §3 closing remark / conjecture |
+//! | [`mod@classic`] | path, cycle, complete, star, lollipop, barbell, ring of cliques | star: Ω(n log n) lower bound (§6); lollipop: Θ(n³) simple-walk worst case (§1, §5) |
+//! | [`mod@random_regular`] | pairing-model random `d`-regular graphs | §4 (expanders, Corollary 9) |
+//! | [`mod@gnp`] | Erdős–Rényi G(n, p) | general-graph experiments (§5) |
+//! | [`mod@geometric`] | random geometric graphs | §4 (named as conductance application) |
+//! | [`mod@powerlaw`] | Chung–Lu power-law graphs | §4 (named as conductance application) |
+
+pub mod classic;
+pub mod geometric;
+pub mod gnp;
+pub mod grid;
+pub mod hypercube;
+pub mod powerlaw;
+pub mod random_regular;
+pub mod trees;
+
+pub use classic::{barbell, complete, cycle, lollipop, path, ring_of_cliques, star};
+pub use geometric::random_geometric;
+pub use gnp::{gnp, gnp_connected};
+pub use grid::{grid, torus};
+pub use hypercube::hypercube;
+pub use powerlaw::chung_lu;
+pub use random_regular::random_regular;
+pub use trees::kary_tree;

@@ -1,0 +1,191 @@
+//! Chung–Lu power-law random graphs — named in the paper's §4 as a family
+//! to which the conductance bound (Theorem 8) applies.
+//!
+//! In the Chung–Lu model each vertex `i` carries a weight `w_i` and edge
+//! `(i, j)` appears independently with probability
+//! `min(1, w_i·w_j / W)` where `W = Σ w_k`. Power-law weights
+//! `w_i ∝ (i + i₀)^{-1/(β-1)}` give a degree distribution with exponent `β`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::{GraphError, Result};
+use rand::{Rng, RngExt};
+
+/// Power-law weight sequence with exponent `beta > 2`, average degree
+/// target `avg_degree`, and maximum expected degree capped at `√W` so the
+/// edge probabilities stay below 1 (the "erased" regime).
+pub fn powerlaw_weights(n: usize, beta: f64, avg_degree: f64) -> Result<Vec<f64>> {
+    if beta <= 2.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("power-law exponent beta = {beta} must be > 2"),
+        });
+    }
+    if avg_degree <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "average degree must be positive".into(),
+        });
+    }
+    let gamma = 1.0 / (beta - 1.0);
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+    let sum: f64 = raw.iter().sum();
+    if sum == 0.0 {
+        return Ok(vec![]);
+    }
+    let scale = avg_degree * n as f64 / sum;
+    Ok(raw.into_iter().map(|w| w * scale).collect())
+}
+
+/// Sample a Chung–Lu graph from an explicit weight sequence.
+///
+/// Uses the Miller–Hagberg efficient algorithm: weights are processed in
+/// non-increasing order and, for each `i`, candidate partners `j > i` are
+/// visited with geometric skips calibrated to the *upper bound* probability
+/// `p = min(1, w_i w_j / W)` at the current position, then accepted with the
+/// exact ratio. Expected cost `O(n + m)`.
+pub fn chung_lu_from_weights<R: Rng>(weights: &[f64], rng: &mut R) -> Result<Graph> {
+    let n = weights.len();
+    if n > u32::MAX as usize {
+        return Err(GraphError::TooManyVertices { requested: n as u64 });
+    }
+    if weights.iter().any(|&w| !(w >= 0.0)) {
+        return Err(GraphError::InvalidParameter {
+            reason: "weights must be non-negative and finite".into(),
+        });
+    }
+    // Sort descending, remembering original ids.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let sorted: Vec<f64> = order.iter().map(|&i| weights[i as usize]).collect();
+    let total: f64 = sorted.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    if total <= 0.0 {
+        return b.build();
+    }
+
+    for i in 0..n {
+        let wi = sorted[i];
+        if wi <= 0.0 {
+            break; // descending order: all remaining weights are 0
+        }
+        let mut j = i + 1;
+        // Upper-bound probability at the current j (weights descending, so
+        // p is non-increasing in j; freeze q at each accept/skip step).
+        let mut p = (wi * sorted.get(j).copied().unwrap_or(0.0) / total).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.random();
+                let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (wi * sorted[j] / total).min(1.0);
+            // Accept with exact probability q / p (q <= p).
+            if rng.random::<f64>() < q / p {
+                b.add_edge(order[i], order[j])?;
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    b.build()
+}
+
+/// Sample a power-law Chung–Lu graph with degree exponent `beta` and target
+/// average degree `avg_degree`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = cobra_graph::generators::chung_lu(500, 2.5, 6.0, &mut rng).unwrap();
+/// assert!(g.num_edges() > 0);
+/// ```
+pub fn chung_lu<R: Rng>(n: usize, beta: f64, avg_degree: f64, rng: &mut R) -> Result<Graph> {
+    let weights = powerlaw_weights(n, beta, avg_degree)?;
+    chung_lu_from_weights(&weights, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_decreasing_and_scaled() {
+        let w = powerlaw_weights(100, 2.5, 8.0).unwrap();
+        assert_eq!(w.len(), 100);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(powerlaw_weights(10, 2.0, 4.0).is_err());
+        assert!(powerlaw_weights(10, 1.5, 4.0).is_err());
+        assert!(powerlaw_weights(10, 2.5, 0.0).is_err());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(chung_lu_from_weights(&[1.0, f64::NAN], &mut rng).is_err());
+        assert!(chung_lu_from_weights(&[1.0, -2.0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_weights_give_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = chung_lu_from_weights(&[0.0; 20], &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn average_degree_roughly_matches_target() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2000;
+        let target = 10.0;
+        let g = chung_lu(n, 2.8, target, &mut rng).unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        // min(1, ·) capping and sampling noise allow some slack.
+        assert!(
+            (avg - target).abs() < 0.2 * target,
+            "average degree {avg} too far from target {target}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 3000;
+        let g = chung_lu(n, 2.2, 6.0, &mut rng).unwrap();
+        // With beta = 2.2 the max degree should far exceed the average.
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        assert!(g.max_degree() as f64 > 5.0 * avg);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = chung_lu(300, 2.5, 6.0, &mut StdRng::seed_from_u64(5)).unwrap();
+        let g2 = chung_lu(300, 2.5, 6.0, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_small_weights_match_gnp_density() {
+        // With all weights equal to w, edge probability is w^2 / (n w) = w/n.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 800;
+        let w = 8.0; // expect p = 0.01, about n*(n-1)/2 * 0.01 edges
+        let g = chung_lu_from_weights(&vec![w; n], &mut rng).unwrap();
+        let expected = (n * (n - 1) / 2) as f64 * (w / n as f64);
+        let m = g.num_edges() as f64;
+        let sd = expected.sqrt();
+        assert!(
+            (m - expected).abs() < 6.0 * sd,
+            "edge count {m} vs expected {expected}"
+        );
+    }
+}

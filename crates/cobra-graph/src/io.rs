@@ -1,0 +1,156 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: optional comment lines starting with `#`, then a header line
+//! `n m`, then `m` lines `u v` with `u < v`. This is the lowest common
+//! denominator for exchanging instances with plotting scripts and other
+//! tools, and lets experiments pin exact graphs to disk.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::{GraphError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Serialize `g` as an edge list.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# cobra-graph edge list")?;
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Serialize `g` to a string.
+pub fn to_edge_list_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("edge list is ASCII")
+}
+
+/// Parse an edge list produced by [`write_edge_list`] (or by hand).
+///
+/// Rejects malformed headers, out-of-range vertices, self-loops, and
+/// edge-count mismatches.
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().filter_map(|l| match l {
+        Ok(s) => {
+            let t = s.trim().to_string();
+            if t.is_empty() || t.starts_with('#') {
+                None
+            } else {
+                Some(Ok(t))
+            }
+        }
+        Err(e) => Some(Err(e)),
+    });
+
+    let parse_err = |what: &str| GraphError::InvalidParameter { reason: what.to_string() };
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("missing header line"))?
+        .map_err(|e| parse_err(&format!("io error: {e}")))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err("header must be 'n m'"))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err("header must be 'n m'"))?;
+    if parts.next().is_some() {
+        return Err(parse_err("header must be exactly 'n m'"));
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut count = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| parse_err(&format!("io error: {e}")))?;
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(&format!("bad edge line: {line}")))?;
+        let v: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(&format!("bad edge line: {line}")))?;
+        if it.next().is_some() {
+            return Err(parse_err(&format!("edge line has extra tokens: {line}")));
+        }
+        b.add_edge(u, v)?;
+        count += 1;
+    }
+    if count != m {
+        return Err(parse_err(&format!("header declared {m} edges, found {count}")));
+    }
+    b.build()
+}
+
+/// Parse from a string.
+pub fn from_edge_list_str(s: &str) -> Result<Graph> {
+    read_edge_list(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, hypercube};
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = hypercube::hypercube(4);
+        let text = to_edge_list_string(&g);
+        let back = from_edge_list_str(&text).unwrap();
+        assert_eq!(g.num_vertices(), back.num_vertices());
+        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roundtrip_star() {
+        let g = classic::star(7).unwrap();
+        let back = from_edge_list_str(&to_edge_list_string(&g)).unwrap();
+        assert_eq!(back.degree(0), 6);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\n3 2\n# mid comment\n0 1\n\n1 2\n";
+        let g = from_edge_list_str(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_edge_list_str("").is_err());
+        assert!(from_edge_list_str("3\n0 1\n").is_err());
+        assert!(from_edge_list_str("3 2 9\n0 1\n1 2\n").is_err());
+        assert!(from_edge_list_str("3 1\n0 x\n").is_err());
+        assert!(from_edge_list_str("3 1\n0 1 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        assert!(from_edge_list_str("3 2\n0 1\n").is_err());
+        assert!(from_edge_list_str("3 1\n0 1\n1 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        // Out of range.
+        assert!(from_edge_list_str("2 1\n0 5\n").is_err());
+        // Self loop.
+        assert!(from_edge_list_str("2 1\n1 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = crate::Graph::empty(4);
+        let back = from_edge_list_str(&to_edge_list_string(&g)).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        assert_eq!(back.num_edges(), 0);
+    }
+}

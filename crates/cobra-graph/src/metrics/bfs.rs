@@ -1,0 +1,136 @@
+//! Breadth-first distances, eccentricities, and diameters.
+//!
+//! The k-ary-tree experiment (E10) compares cover times against the
+//! diameter, and the grid experiments use hop distances to pick far-apart
+//! start/target pairs for hitting-time measurements.
+
+use crate::csr::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Hop distance marker for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances. `result[v] == UNREACHABLE` when `v` is not
+/// reachable from `src`.
+pub fn bfs_distances(g: &Graph, src: Vertex) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for u in g.neighbor_iter(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src`: the maximum finite BFS distance from `src`.
+/// Returns `None` if some vertex is unreachable (disconnected graph).
+pub fn eccentricity(g: &Graph, src: Vertex) -> Option<usize> {
+    let dist = bfs_distances(g, src);
+    let mut max = 0u32;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max as usize)
+}
+
+/// Exact diameter via all-sources BFS — `O(n·m)`; fine for the experiment
+/// scales here (the harness only calls this on graphs small enough for the
+/// walk simulations themselves to dominate). Returns `None` when
+/// disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let mut best = 0usize;
+    for v in g.vertices() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// A vertex at maximum BFS distance from `src`, with that distance.
+/// Useful for choosing adversarial start/target pairs in hitting-time
+/// experiments (e.g. opposite grid corners, far end of a lollipop handle).
+pub fn farthest_vertex(g: &Graph, src: Vertex) -> (Vertex, u32) {
+    let dist = bfs_distances(g, src);
+    let mut best = (src, 0u32);
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d > best.1 {
+            best = (v as Vertex, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, grid};
+
+    #[test]
+    fn path_distances() {
+        let g = classic::path(5).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn path_eccentricity_and_diameter() {
+        let g = classic::path(6).unwrap();
+        assert_eq!(eccentricity(&g, 0), Some(5));
+        assert_eq!(eccentricity(&g, 2), Some(3));
+        assert_eq!(diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = classic::cycle(8).unwrap();
+        assert_eq!(diameter(&g), Some(4));
+        let g = classic::cycle(9).unwrap();
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let g = grid::grid(&[3, 4]);
+        assert_eq!(diameter(&g), Some(7));
+    }
+
+    #[test]
+    fn disconnected_reports_none() {
+        let g = crate::builder::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(eccentricity(&g, 0), None);
+        assert_eq!(diameter(&g), None);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn farthest_vertex_on_path() {
+        let g = classic::path(7).unwrap();
+        assert_eq!(farthest_vertex(&g, 0), (6, 6));
+        let (v, d) = farthest_vertex(&g, 3);
+        assert!(v == 0 || v == 6);
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn empty_graph_diameter() {
+        let g = crate::Graph::empty(0);
+        assert_eq!(diameter(&g), None);
+        let g1 = crate::Graph::empty(1);
+        assert_eq!(diameter(&g1), Some(0));
+    }
+}

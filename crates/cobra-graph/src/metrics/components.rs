@@ -1,0 +1,146 @@
+//! Connected components and largest-component extraction.
+//!
+//! Random families (G(n,p), geometric, Chung–Lu) can be disconnected; walk
+//! experiments restrict to the largest component via
+//! [`largest_component`].
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Vertex};
+
+/// Label each vertex with a component id in `0..k`; returns `(labels, k)`.
+/// Component ids are assigned in order of discovery from vertex 0 upward.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    const UNVISITED: u32 = u32::MAX;
+    let mut label = vec![UNVISITED; n];
+    let mut k = 0u32;
+    let mut stack = Vec::new();
+    for s in g.vertices() {
+        if label[s as usize] != UNVISITED {
+            continue;
+        }
+        label[s as usize] = k;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for u in g.neighbor_iter(v) {
+                if label[u as usize] == UNVISITED {
+                    label[u as usize] = k;
+                    stack.push(u);
+                }
+            }
+        }
+        k += 1;
+    }
+    (label, k as usize)
+}
+
+/// Whether the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    let (_, k) = connected_components(g);
+    k <= 1
+}
+
+/// Extract the largest connected component as a new graph with dense ids.
+///
+/// Returns `(subgraph, mapping)` where `mapping[new_id] = old_id`.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<Vertex>) {
+    let (label, k) = connected_components(g);
+    if k <= 1 {
+        return (g.clone(), g.vertices().collect());
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    let biggest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+
+    let mut old_to_new = vec![u32::MAX; g.num_vertices()];
+    let mut mapping = Vec::new();
+    for v in g.vertices() {
+        if label[v as usize] == biggest {
+            old_to_new[v as usize] = mapping.len() as u32;
+            mapping.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(mapping.len());
+    for &old in &mapping {
+        for u in g.neighbor_iter(old) {
+            if label[u as usize] == biggest && old < u {
+                b.add_edge(old_to_new[old as usize], old_to_new[u as usize])
+                    .expect("mapped ids are in range");
+            }
+        }
+    }
+    (b.build().expect("sub-edges are valid"), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::classic;
+
+    #[test]
+    fn single_component() {
+        let g = classic::cycle(5).unwrap();
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components() {
+        let g = from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Components: triangle {0,1,2}, edge {3,4}, isolated {5}.
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let (sub, mapping) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(mapping, vec![0, 1, 2]);
+        assert!(is_connected(&sub));
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity() {
+        let g = classic::path(4).unwrap();
+        let (sub, mapping) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(mapping, vec![0, 1, 2, 3]);
+        assert_eq!(sub.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn largest_component_preserves_adjacency() {
+        let g = from_edges(7, &[(2, 4), (4, 6), (2, 6), (6, 1), (0, 3)]).unwrap();
+        let (sub, mapping) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 4);
+        for v_new in sub.vertices() {
+            for u_new in sub.neighbor_iter(v_new) {
+                assert!(g.has_edge(mapping[v_new as usize], mapping[u_new as usize]));
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Conductance `Φ_G` — the parameter of the paper's Theorem 8.
+//!
+//! Following §2 of the paper: for `S ⊆ V` with `vol(S) = Σ_{u∈S} d(u)`,
+//! `φ(S) = |∂(S)| / vol(S)` where `∂(S)` counts edges leaving `S`, and
+//! `Φ_G = min { φ(S) : vol(S) ≤ vol(V)/2 }`.
+//!
+//! Exact minimization is NP-hard in general; we provide:
+//!
+//! * [`conductance_exact`] — brute-force over all subsets, for `n ≤ 24`
+//!   (used by tests and to validate the estimators);
+//! * [`sweep_conductance`] — the standard sweep-cut upper bound along a
+//!   vertex ordering (the spectral ordering from `cobra-spectral` gives the
+//!   Cheeger-quality bound; any ordering gives a valid upper bound).
+
+use crate::csr::{Graph, Vertex};
+
+/// `φ(S) = |∂S| / min(vol(S), vol(V∖S))` for an explicit subset.
+///
+/// Returns `None` if `S` is empty, is everything, or has zero volume.
+/// Using the `min` of the two volumes (rather than requiring
+/// `vol(S) ≤ vol(V)/2`) makes the function symmetric and total; on sets
+/// satisfying the paper's volume constraint it agrees with the paper's
+/// `φ(S)`.
+pub fn conductance_of_set(g: &Graph, in_set: &[bool]) -> Option<f64> {
+    assert_eq!(in_set.len(), g.num_vertices());
+    let mut boundary = 0usize;
+    let mut vol_s = 0usize;
+    for v in g.vertices() {
+        if in_set[v as usize] {
+            vol_s += g.degree(v);
+            for u in g.neighbor_iter(v) {
+                if !in_set[u as usize] {
+                    boundary += 1;
+                }
+            }
+        }
+    }
+    let vol_rest = g.total_degree() - vol_s;
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        None
+    } else {
+        Some(boundary as f64 / denom as f64)
+    }
+}
+
+/// Exact conductance by enumerating all `2^n` subsets. Panics if `n > 24`.
+/// Returns `None` for graphs where no valid cut exists (n < 2 or no edges).
+pub fn conductance_exact(g: &Graph) -> Option<f64> {
+    let n = g.num_vertices();
+    assert!(n <= 24, "exact conductance is exponential; n = {n} > 24");
+    if n < 2 || g.num_edges() == 0 {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    let mut in_set = vec![false; n];
+    // Fix vertex 0 out of S to halve the enumeration (complement symmetry).
+    for mask in 1u64..(1u64 << (n - 1)) {
+        for (i, flag) in in_set.iter_mut().enumerate().take(n - 1) {
+            *flag = (mask >> i) & 1 == 1;
+        }
+        in_set[n - 1] = false;
+        if let Some(phi) = conductance_of_set(g, &in_set) {
+            best = Some(best.map_or(phi, |b: f64| b.min(phi)));
+        }
+    }
+    best
+}
+
+/// Sweep-cut conductance upper bound: prefix sets of the given vertex
+/// `ordering` are scored with [`conductance_of_set`]'s criterion
+/// incrementally, and the best prefix value is returned.
+///
+/// With a Fiedler-vector ordering this is the classic spectral partitioning
+/// heuristic whose result `φ̂` satisfies `Φ_G ≤ φ̂ ≤ √(2·Φ_G)` (Cheeger);
+/// with any other ordering it is still a valid upper bound on `Φ_G`.
+pub fn sweep_conductance(g: &Graph, ordering: &[Vertex]) -> Option<f64> {
+    let n = g.num_vertices();
+    assert_eq!(ordering.len(), n);
+    if n < 2 || g.num_edges() == 0 {
+        return None;
+    }
+    let total_vol = g.total_degree();
+    let mut in_set = vec![false; n];
+    let mut vol_s = 0usize;
+    let mut boundary = 0isize;
+    let mut best: Option<f64> = None;
+    // Add vertices one at a time; maintain boundary incrementally.
+    for &v in &ordering[..n - 1] {
+        in_set[v as usize] = true;
+        vol_s += g.degree(v);
+        for u in g.neighbor_iter(v) {
+            if in_set[u as usize] {
+                boundary -= 1; // edge became internal
+            } else {
+                boundary += 1; // new boundary edge
+            }
+        }
+        let denom = vol_s.min(total_vol - vol_s);
+        if denom > 0 {
+            let phi = boundary as f64 / denom as f64;
+            best = Some(best.map_or(phi, |b: f64| b.min(phi)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, grid, hypercube};
+
+    #[test]
+    fn complete_graph_conductance() {
+        // K_n: the minimizing cut is the balanced one. For K_4, S of size 2:
+        // boundary 4, vol(S) = 6, φ = 2/3.
+        let g = classic::complete(4).unwrap();
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_conductance() {
+        // C_n: best cut is a half-arc: boundary 2, vol = n (for even n),
+        // φ = 2/n.
+        let g = classic::cycle(8).unwrap();
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypercube_conductance_exact_matches_formula() {
+        let g = hypercube::hypercube(4); // 16 vertices, OK for exact
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_conductance() {
+        // P_4 (3 edges, total vol 6): cutting the middle edge gives
+        // boundary 1, min vol = 3, φ = 1/3. Cutting off one leaf gives
+        // 1/1 = 1. So Φ = 1/3.
+        let g = classic::path(4).unwrap();
+        let phi = conductance_exact(&g).unwrap();
+        assert!((phi - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barbell_has_low_conductance() {
+        let g = classic::barbell(5, 0).unwrap(); // 10 vertices
+        let phi = conductance_exact(&g).unwrap();
+        // One clique (with the bridge endpoint) vs the other: boundary 1,
+        // vol(S) = 5*4 + 1 = 21, φ = 1/21.
+        assert!((phi - 1.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_conductance_degenerate_cases() {
+        let g = classic::cycle(4).unwrap();
+        assert_eq!(conductance_of_set(&g, &[false; 4]), None);
+        assert_eq!(conductance_of_set(&g, &[true; 4]), None);
+        let phi = conductance_of_set(&g, &[true, false, false, false]).unwrap();
+        assert!((phi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_conductance_is_complement_symmetric() {
+        let g = grid::grid(&[2, 2]);
+        let in_set: Vec<bool> = (0..9).map(|i| i < 4).collect();
+        let comp: Vec<bool> = in_set.iter().map(|&b| !b).collect();
+        let a = conductance_of_set(&g, &in_set).unwrap();
+        let b = conductance_of_set(&g, &comp).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_upper_bounds_exact() {
+        let g = classic::barbell(4, 0).unwrap();
+        let exact = conductance_exact(&g).unwrap();
+        // Natural ordering puts the left clique first — optimal here.
+        let ordering: Vec<u32> = g.vertices().collect();
+        let sweep = sweep_conductance(&g, &ordering).unwrap();
+        assert!(sweep >= exact - 1e-12);
+        assert!((sweep - exact).abs() < 1e-9, "natural order finds the cut");
+    }
+
+    #[test]
+    fn sweep_on_cycle_natural_order_is_exact() {
+        let g = classic::cycle(10).unwrap();
+        let ordering: Vec<u32> = g.vertices().collect();
+        let sweep = sweep_conductance(&g, &ordering).unwrap();
+        assert!((sweep - 2.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_none_for_edgeless() {
+        let g = Graph::empty(3);
+        assert_eq!(sweep_conductance(&g, &[0, 1, 2]), None);
+        assert_eq!(conductance_exact(&g), None);
+    }
+
+    use crate::csr::Graph;
+}

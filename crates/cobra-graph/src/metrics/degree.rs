@@ -1,0 +1,112 @@
+//! Degree statistics.
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+    /// Degree shared by all vertices, when the graph is regular.
+    pub regular: Option<usize>,
+}
+
+impl DegreeStats {
+    /// Compute degree statistics for `g`. For the empty vertex set all
+    /// fields are zero and `regular = Some(0)`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, variance: 0.0, regular: Some(0) };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut sum_sq = 0u128;
+        for v in g.vertices() {
+            let d = g.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            sum_sq += (d as u128) * (d as u128);
+        }
+        let mean = sum as f64 / n as f64;
+        let variance = sum_sq as f64 / n as f64 - mean * mean;
+        DegreeStats {
+            min,
+            max,
+            mean,
+            variance: variance.max(0.0),
+            regular: if min == max { Some(min) } else { None },
+        }
+    }
+
+    /// The full degree histogram: `hist[d]` = number of vertices of degree
+    /// `d`, indexed up to the maximum degree.
+    pub fn histogram(g: &Graph) -> Vec<usize> {
+        let mut hist = vec![0usize; g.max_degree() + 1];
+        for v in g.vertices() {
+            hist[g.degree(v)] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn regular_graph_stats() {
+        let g = classic::cycle(6).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.regular, Some(2));
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = classic::star(5).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.regular, None);
+        assert!(s.variance > 0.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let g = classic::star(5).unwrap();
+        let h = DegreeStats::histogram(&g);
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::Graph::empty(0);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.regular, Some(0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_stats() {
+        let g = crate::Graph::empty(3);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.regular, Some(0));
+        assert_eq!(DegreeStats::histogram(&g), vec![3]);
+    }
+}

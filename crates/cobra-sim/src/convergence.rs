@@ -1,0 +1,113 @@
+//! Sequential stopping: run trials until the mean's confidence interval is
+//! tight enough (or a budget is exhausted).
+//!
+//! Long sweeps waste most of their time over-sampling easy cells; the
+//! adaptive runner keeps per-cell cost proportional to variance.
+
+use crate::stats::Summary;
+
+/// Stopping criteria for adaptive trial loops.
+#[derive(Clone, Copy, Debug)]
+pub struct StopRule {
+    /// Minimum trials before the CI is consulted at all.
+    pub min_trials: usize,
+    /// Hard cap on trials.
+    pub max_trials: usize,
+    /// Target relative CI half-width: stop when
+    /// `z·stderr / mean ≤ rel_precision`.
+    pub rel_precision: f64,
+}
+
+impl StopRule {
+    /// A rule with sanity checks.
+    pub fn new(min_trials: usize, max_trials: usize, rel_precision: f64) -> Self {
+        assert!(min_trials >= 2, "need >= 2 trials for a stderr");
+        assert!(max_trials >= min_trials, "max >= min");
+        assert!(rel_precision > 0.0, "precision must be positive");
+        StopRule { min_trials, max_trials, rel_precision }
+    }
+
+    /// Whether the summary satisfies the precision target.
+    pub fn satisfied(&self, summary: &Summary) -> bool {
+        if summary.count() < self.min_trials {
+            return false;
+        }
+        let mean = summary.mean();
+        if mean == 0.0 {
+            // Degenerate: all-zero measurements are already exact.
+            return summary.stddev() == 0.0;
+        }
+        1.96 * summary.stderr() / mean.abs() <= self.rel_precision
+    }
+}
+
+/// Run `trial(i)` adaptively until the rule is satisfied or `max_trials`
+/// is hit; returns the summary and whether the precision target was met.
+pub fn run_until_precise<F: FnMut(usize) -> f64>(
+    rule: &StopRule,
+    mut trial: F,
+) -> (Summary, bool) {
+    let mut summary = Summary::new();
+    for i in 0..rule.max_trials {
+        summary.push(trial(i));
+        if i + 1 >= rule.min_trials && rule.satisfied(&summary) {
+            return (summary, true);
+        }
+    }
+    let ok = rule.satisfied(&summary);
+    (summary, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn constant_data_stops_at_min() {
+        let rule = StopRule::new(5, 1000, 0.01);
+        let (summary, ok) = run_until_precise(&rule, |_| 42.0);
+        assert!(ok);
+        assert_eq!(summary.count(), 5);
+        assert_eq!(summary.mean(), 42.0);
+    }
+
+    #[test]
+    fn zero_data_is_satisfied() {
+        let rule = StopRule::new(3, 100, 0.1);
+        let (summary, ok) = run_until_precise(&rule, |_| 0.0);
+        assert!(ok);
+        assert_eq!(summary.count(), 3);
+    }
+
+    #[test]
+    fn noisy_data_runs_longer_for_tighter_precision() {
+        let run = |precision: f64| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let rule = StopRule::new(5, 100_000, precision);
+            let (s, ok) = run_until_precise(&rule, |_| 50.0 + 20.0 * (rng.random::<f64>() - 0.5));
+            assert!(ok);
+            s.count()
+        };
+        let loose = run(0.05);
+        let tight = run(0.005);
+        assert!(tight > loose, "tight {tight} should need more than loose {loose}");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Extremely noisy data, tiny budget, very tight target.
+        let rule = StopRule::new(2, 10, 1e-6);
+        let (s, ok) = run_until_precise(&rule, |_| rng.random::<f64>() * 1000.0);
+        assert!(!ok);
+        assert_eq!(s.count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "max >= min")]
+    fn rejects_inverted_bounds() {
+        StopRule::new(10, 5, 0.1);
+    }
+}

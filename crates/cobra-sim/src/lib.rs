@@ -1,0 +1,30 @@
+//! # cobra-sim
+//!
+//! Monte-Carlo simulation engine for the cobra-walk experiments:
+//!
+//! * [`seeds`] — deterministic per-trial seed derivation (SplitMix64), so
+//!   every experiment is exactly reproducible from one master seed and
+//!   trials are independent across rayon workers;
+//! * [`runner`] — parallel trial execution for cover/hitting measurements;
+//! * [`stats`] — online summary statistics (Welford) with quantiles and
+//!   normal-approximation confidence intervals;
+//! * [`sweep`] — parameter sweeps producing result rows;
+//! * [`table`] — CSV and aligned-Markdown writers for result tables
+//!   (hand-rolled: no serde needed);
+//! * [`convergence`] — run-until-CI-tight sequential stopping.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod convergence;
+pub mod runner;
+pub mod seeds;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use runner::{run_cover_trials, run_hitting_trials, TrialOutcome, TrialPlan};
+pub use seeds::SeedSequence;
+pub use stats::Summary;
+pub use sweep::{SweepRow, SweepTable};
+pub use table::{render_csv, render_markdown};

@@ -1,0 +1,182 @@
+//! Parallel Monte-Carlo trial execution.
+//!
+//! Trials fan out over rayon workers; each trial gets an independent,
+//! deterministically derived RNG (see [`crate::seeds`]), so results are
+//! bit-reproducible regardless of thread scheduling.
+
+use crate::seeds::SeedSequence;
+use crate::stats::Summary;
+use cobra_core::{CoverDriver, HittingDriver, Process};
+use cobra_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// How many trials to run and how long each may take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialPlan {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Per-trial round budget.
+    pub max_steps: usize,
+    /// Master seed; trial `i` uses seed `SeedSequence::new(master).seed_at(i)`.
+    pub master_seed: u64,
+}
+
+impl TrialPlan {
+    /// Convenience constructor.
+    pub fn new(trials: usize, max_steps: usize, master_seed: u64) -> Self {
+        assert!(trials >= 1, "need at least one trial");
+        assert!(max_steps >= 1, "need a positive step budget");
+        TrialPlan { trials, max_steps, master_seed }
+    }
+}
+
+/// Aggregated outcome of a batch of trials.
+#[derive(Clone, Debug)]
+pub struct TrialOutcome {
+    /// Summary of the measured times over **completed** trials.
+    pub summary: Summary,
+    /// Trials that exhausted the budget without completing. Censored
+    /// trials are *excluded* from `summary`; a nonzero count signals the
+    /// budget should be raised.
+    pub censored: usize,
+}
+
+impl TrialOutcome {
+    /// Fraction of trials that completed.
+    pub fn completion_rate(&self) -> f64 {
+        let total = self.summary.count() + self.censored;
+        if total == 0 {
+            0.0
+        } else {
+            self.summary.count() as f64 / total as f64
+        }
+    }
+}
+
+fn aggregate(times: Vec<Option<usize>>) -> TrialOutcome {
+    let mut summary = Summary::new();
+    let mut censored = 0usize;
+    for t in times {
+        match t {
+            Some(steps) => summary.push(steps as f64),
+            None => censored += 1,
+        }
+    }
+    TrialOutcome { summary, censored }
+}
+
+/// Measure cover times of `process` from `start` over `plan.trials`
+/// independent runs (parallel).
+pub fn run_cover_trials(
+    g: &Graph,
+    process: &dyn Process,
+    start: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let times: Vec<Option<usize>> = (0..plan.trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let res = CoverDriver::new(g)
+                .run(process, start, plan.max_steps, &mut rng)
+                .expect("non-empty graph");
+            res.completed.then_some(res.steps)
+        })
+        .collect();
+    aggregate(times)
+}
+
+/// Measure hitting times `start → target` of `process` over
+/// `plan.trials` independent runs (parallel).
+pub fn run_hitting_trials(
+    g: &Graph,
+    process: &dyn Process,
+    start: Vertex,
+    target: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let times: Vec<Option<usize>> = (0..plan.trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let res = HittingDriver::new(g).run(process, start, target, plan.max_steps, &mut rng);
+            res.hit.then_some(res.steps)
+        })
+        .collect();
+    aggregate(times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_core::{CobraWalk, SimpleWalk};
+    use cobra_graph::generators::classic;
+
+    #[test]
+    fn cover_trials_complete_on_small_graph() {
+        let g = classic::complete(12).unwrap();
+        let plan = TrialPlan::new(40, 10_000, 1);
+        let out = run_cover_trials(&g, &CobraWalk::standard(), 0, &plan);
+        assert_eq!(out.censored, 0);
+        assert_eq!(out.summary.count(), 40);
+        assert!(out.summary.mean() >= 4.0, "cannot cover K12 in < 4 rounds");
+        assert!((out.completion_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let g = classic::cycle(20).unwrap();
+        let plan = TrialPlan::new(25, 100_000, 7);
+        let a = run_cover_trials(&g, &CobraWalk::standard(), 0, &plan);
+        let b = run_cover_trials(&g, &CobraWalk::standard(), 0, &plan);
+        assert_eq!(a.summary.count(), b.summary.count());
+        assert!((a.summary.mean() - b.summary.mean()).abs() < 1e-12);
+        assert_eq!(a.summary.median(), b.summary.median());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = classic::cycle(20).unwrap();
+        let a = run_cover_trials(&g, &CobraWalk::standard(), 0, &TrialPlan::new(25, 100_000, 1));
+        let b = run_cover_trials(&g, &CobraWalk::standard(), 0, &TrialPlan::new(25, 100_000, 2));
+        assert_ne!(a.summary.mean(), b.summary.mean());
+    }
+
+    #[test]
+    fn censoring_is_reported() {
+        let g = classic::path(60).unwrap();
+        // 10 steps cannot cover a 60-path.
+        let out = run_cover_trials(&g, &SimpleWalk::new(), 0, &TrialPlan::new(10, 10, 3));
+        assert_eq!(out.censored, 10);
+        assert_eq!(out.summary.count(), 0);
+        assert_eq!(out.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn hitting_trials_measure_adjacent_hop() {
+        let g = classic::complete(5).unwrap();
+        let plan = TrialPlan::new(200, 10_000, 4);
+        let out = run_hitting_trials(&g, &SimpleWalk::new(), 0, 1, &plan);
+        assert_eq!(out.censored, 0);
+        // On K_5, hitting a fixed other vertex is geometric(1/4): mean 4.
+        let mean = out.summary.mean();
+        assert!((mean - 4.0).abs() < 1.0, "mean hitting {mean}");
+    }
+
+    #[test]
+    fn hitting_start_equals_target() {
+        let g = classic::cycle(6).unwrap();
+        let out = run_hitting_trials(&g, &SimpleWalk::new(), 2, 2, &TrialPlan::new(5, 100, 5));
+        assert_eq!(out.summary.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn plan_rejects_zero_trials() {
+        TrialPlan::new(0, 10, 0);
+    }
+}

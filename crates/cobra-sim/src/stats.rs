@@ -1,0 +1,233 @@
+//! Summary statistics: Welford online moments, quantiles, and CIs.
+
+/// Summary statistics over a sample of f64 measurements.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    /// Raw values retained for quantiles. Experiments here run ≤ ~10⁵
+    /// trials per cell, so retention is cheap and exact quantiles beat
+    /// sketch approximations.
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, values: Vec::new() }
+    }
+
+    /// Build a summary from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Add one observation (Welford update).
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "observations must be finite");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean. Panics when empty.
+    pub fn mean(&self) -> f64 {
+        assert!(self.count > 0, "mean of empty summary");
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for a single observation).
+    pub fn variance(&self) -> f64 {
+        assert!(self.count > 0, "variance of empty summary");
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        self.stddev() / (self.count as f64).sqrt()
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0);
+        self.min
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0);
+        self.max
+    }
+
+    /// Exact sample quantile with linear interpolation, `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "quantile of empty summary");
+        assert!((0.0..=1.0).contains(&q), "q in [0,1]");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// level (supported levels: 0.90, 0.95, 0.99).
+    pub fn mean_ci(&self, level: f64) -> (f64, f64) {
+        let z = match level {
+            l if (l - 0.90).abs() < 1e-9 => 1.6449,
+            l if (l - 0.95).abs() < 1e-9 => 1.9600,
+            l if (l - 0.99).abs() < 1e-9 => 2.5758,
+            other => panic!("unsupported CI level {other}; use 0.90/0.95/0.99"),
+        };
+        let half = z * self.stderr();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Merge another summary into this one (used to combine per-worker
+    /// partials).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[7.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.median(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_mean_panics() {
+        Summary::new().mean();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Summary::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::from_slice(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(1.0), 40.0);
+        assert_eq!(s.median(), 25.0);
+        assert!((s.quantile(0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_narrows_with_samples() {
+        let few = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let many = Summary::from_slice(&(0..300).map(|i| (i % 3) as f64 + 1.0).collect::<Vec<_>>());
+        let (lo_f, hi_f) = few.mean_ci(0.95);
+        let (lo_m, hi_m) = many.mean_ci(0.95);
+        assert!(hi_m - lo_m < hi_f - lo_f);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn ci_rejects_odd_levels() {
+        Summary::from_slice(&[1.0, 2.0]).mean_ci(0.5);
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 1.3).collect();
+        let (a, b) = xs.split_at(4);
+        let mut left = Summary::from_slice(a);
+        let right = Summary::from_slice(b);
+        left.merge(&right);
+        let full = Summary::from_slice(&xs);
+        assert_eq!(left.count(), full.count());
+        assert!((left.mean() - full.mean()).abs() < 1e-12);
+        assert!((left.variance() - full.variance()).abs() < 1e-12);
+        assert_eq!(left.median(), full.median());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut s = Summary::from_slice(&[1.0, 2.0]);
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), 2);
+        let mut e = Summary::new();
+        e.merge(&Summary::from_slice(&[5.0]));
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 5.0);
+    }
+}

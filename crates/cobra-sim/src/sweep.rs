@@ -1,0 +1,136 @@
+//! Parameter sweeps producing tabular results.
+//!
+//! Every experiment is a sweep: "for n in …, measure cover time of
+//! process P on family F". [`SweepTable`] collects labelled rows of
+//! `(scale, statistics…)` pairs that render straight into CSV/Markdown
+//! (see [`crate::table`]) and feed the fitters in `cobra-analysis`.
+
+use crate::stats::Summary;
+
+/// One row of a sweep: a scale point plus measured statistics.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The swept scale (e.g. `n`, side length, depth).
+    pub scale: f64,
+    /// Extra context columns (e.g. measured conductance), name → value.
+    pub context: Vec<(String, f64)>,
+    /// Mean of the measured quantity.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile (the "w.h.p." side of the paper's claims).
+    pub p95: f64,
+    /// Number of completed trials.
+    pub trials: usize,
+    /// Number of censored (budget-exhausted) trials.
+    pub censored: usize,
+}
+
+impl SweepRow {
+    /// Build a row from a scale and a summary.
+    pub fn from_summary(scale: f64, summary: &Summary, censored: usize) -> Self {
+        SweepRow {
+            scale,
+            context: Vec::new(),
+            mean: summary.mean(),
+            stderr: summary.stderr(),
+            median: summary.median(),
+            p95: summary.quantile(0.95),
+            trials: summary.count(),
+            censored,
+        }
+    }
+
+    /// Attach a named context value (builder style).
+    pub fn with_context(mut self, name: &str, value: f64) -> Self {
+        self.context.push((name.to_string(), value));
+        self
+    }
+}
+
+/// A labelled collection of sweep rows for one measured series.
+#[derive(Clone, Debug)]
+pub struct SweepTable {
+    /// Series label (e.g. `"cobra(k=2) on grid d=2"`).
+    pub label: String,
+    /// Name of the scale column (e.g. `"n"`).
+    pub scale_name: String,
+    /// The rows, in sweep order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepTable {
+    /// An empty table.
+    pub fn new(label: impl Into<String>, scale_name: impl Into<String>) -> Self {
+        SweepTable { label: label.into(), scale_name: scale_name.into(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: SweepRow) {
+        self.rows.push(row);
+    }
+
+    /// The scale column.
+    pub fn scales(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.scale).collect()
+    }
+
+    /// The mean column.
+    pub fn means(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.mean).collect()
+    }
+
+    /// The p95 column.
+    pub fn p95s(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.p95).collect()
+    }
+
+    /// Total censored trials across all rows.
+    pub fn total_censored(&self) -> usize {
+        self.rows.iter().map(|r| r.censored).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> Summary {
+        Summary::from_slice(&[10.0, 12.0, 14.0, 16.0, 18.0])
+    }
+
+    #[test]
+    fn row_from_summary() {
+        let r = SweepRow::from_summary(100.0, &sample_summary(), 2);
+        assert_eq!(r.scale, 100.0);
+        assert_eq!(r.mean, 14.0);
+        assert_eq!(r.median, 14.0);
+        assert_eq!(r.trials, 5);
+        assert_eq!(r.censored, 2);
+        assert!(r.p95 >= 17.0);
+    }
+
+    #[test]
+    fn row_context_builder() {
+        let r = SweepRow::from_summary(10.0, &sample_summary(), 0)
+            .with_context("phi", 0.25)
+            .with_context("d", 3.0);
+        assert_eq!(r.context.len(), 2);
+        assert_eq!(r.context[0], ("phi".to_string(), 0.25));
+    }
+
+    #[test]
+    fn table_columns() {
+        let mut t = SweepTable::new("cobra on grid", "n");
+        t.push(SweepRow::from_summary(10.0, &sample_summary(), 0));
+        t.push(SweepRow::from_summary(20.0, &sample_summary(), 1));
+        assert_eq!(t.scales(), vec![10.0, 20.0]);
+        assert_eq!(t.means(), vec![14.0, 14.0]);
+        assert_eq!(t.p95s().len(), 2);
+        assert_eq!(t.total_censored(), 1);
+        assert_eq!(t.label, "cobra on grid");
+        assert_eq!(t.scale_name, "n");
+    }
+}

@@ -1,0 +1,162 @@
+//! Hand-rolled CSV and aligned-Markdown rendering of sweep tables.
+//!
+//! The experiment binaries print Markdown to stdout (human-readable, maps
+//! onto the "tables" the paper would have had) and optionally write CSV
+//! for downstream plotting. No serde: the format is trivial and the
+//! writers are unit-tested.
+
+use crate::sweep::SweepTable;
+
+fn header_columns(t: &SweepTable) -> Vec<String> {
+    let mut cols = vec![t.scale_name.clone()];
+    if let Some(first) = t.rows.first() {
+        for (name, _) in &first.context {
+            cols.push(name.clone());
+        }
+    }
+    cols.extend(
+        ["mean", "stderr", "median", "p95", "trials", "censored"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    cols
+}
+
+fn row_cells(t: &SweepTable, i: usize) -> Vec<String> {
+    let r = &t.rows[i];
+    let mut cells = vec![trim_float(r.scale)];
+    for (_, v) in &r.context {
+        cells.push(trim_float(*v));
+    }
+    cells.push(format!("{:.2}", r.mean));
+    cells.push(format!("{:.2}", r.stderr));
+    cells.push(format!("{:.2}", r.median));
+    cells.push(format!("{:.2}", r.p95));
+    cells.push(r.trials.to_string());
+    cells.push(r.censored.to_string());
+    cells
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Render a sweep table as CSV (header row + data rows, `\n` line ends).
+pub fn render_csv(t: &SweepTable) -> String {
+    let mut out = String::new();
+    out.push_str(&header_columns(t).join(","));
+    out.push('\n');
+    for i in 0..t.rows.len() {
+        out.push_str(&row_cells(t, i).join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a sweep table as aligned GitHub-flavored Markdown with the
+/// series label as a bold caption line.
+pub fn render_markdown(t: &SweepTable) -> String {
+    let header = header_columns(t);
+    let rows: Vec<Vec<String>> = (0..t.rows.len()).map(|i| row_cells(t, i)).collect();
+    // Column widths.
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = format!("**{}**\n\n", t.label);
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(&header));
+    out.push('\n');
+    let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    out.push_str(&format!("| {} |", dashes.join(" | ")));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write CSV to a file path, creating parent directories as needed.
+pub fn write_csv(t: &SweepTable, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render_csv(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+    use crate::sweep::SweepRow;
+
+    fn sample_table() -> SweepTable {
+        let mut t = SweepTable::new("cobra(k=2) on grid d=2", "n");
+        let s = Summary::from_slice(&[10.0, 20.0, 30.0]);
+        t.push(SweepRow::from_summary(8.0, &s, 0).with_context("phi", 0.5));
+        t.push(SweepRow::from_summary(16.0, &s, 1).with_context("phi", 0.25));
+        t
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = render_csv(&sample_table());
+        let lines: Vec<&str> = csv.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "n,phi,mean,stderr,median,p95,trials,censored");
+        assert!(lines[1].starts_with("8,0.5000,20.00,"));
+        assert!(lines[2].starts_with("16,0.2500,"));
+        assert!(lines[2].ends_with(",3,1"));
+    }
+
+    #[test]
+    fn csv_of_empty_table_is_header_only() {
+        let t = SweepTable::new("empty", "n");
+        let csv = render_csv(&t);
+        assert_eq!(csv.trim_end(), "n,mean,stderr,median,p95,trials,censored");
+    }
+
+    #[test]
+    fn markdown_is_aligned_and_captioned() {
+        let md = render_markdown(&sample_table());
+        assert!(md.starts_with("**cobra(k=2) on grid d=2**"));
+        let lines: Vec<&str> = md.trim_end().split('\n').collect();
+        // caption, blank, header, separator, 2 rows
+        assert_eq!(lines.len(), 6);
+        // All table lines have equal width.
+        let widths: Vec<usize> = lines[2..].iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+        assert!(lines[2].contains("| phi |") || lines[2].contains("phi"));
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(8.0), "8");
+        assert_eq!(trim_float(0.25), "0.2500");
+        assert_eq!(trim_float(-3.0), "-3");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("cobra_table_test");
+        let path = dir.join("out.csv");
+        write_csv(&sample_table(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,phi,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

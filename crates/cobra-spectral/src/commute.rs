@@ -1,0 +1,116 @@
+//! Commute times and effective resistances of the simple random walk.
+//!
+//! Classical identities used to cross-check the walk simulations and to
+//! contextualize the paper's hitting-time results:
+//!
+//! * commute time `C(u, v) = H(u, v) + H(v, u) = 2m · R_eff(u, v)`
+//!   (Chandra–Raghavan–Ruzzo–Smolensky–Tiwari);
+//! * on trees, `R_eff` is just the path length, so `C(u, v) = 2m·dist`.
+//!
+//! Computed exactly from the hitting-time linear systems in
+//! [`crate::exact`]; `O(n³)` per target, intended for test-scale graphs.
+
+use crate::exact::exact_hitting_times;
+use cobra_graph::{Graph, Vertex};
+
+/// Exact commute time `C(u, v) = H(u, v) + H(v, u)` of the simple walk.
+pub fn commute_time(g: &Graph, u: Vertex, v: Vertex) -> f64 {
+    if u == v {
+        return 0.0;
+    }
+    let to_v = exact_hitting_times(g, v);
+    let to_u = exact_hitting_times(g, u);
+    to_v[u as usize] + to_u[v as usize]
+}
+
+/// Effective resistance via the commute-time identity:
+/// `R_eff(u, v) = C(u, v) / (2m)`.
+pub fn effective_resistance(g: &Graph, u: Vertex, v: Vertex) -> f64 {
+    commute_time(g, u, v) / g.total_degree() as f64
+}
+
+/// The resistance diameter `max_{u,v} R_eff(u, v)` — `O(n⁴)`; tiny
+/// graphs only.
+pub fn resistance_diameter(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    let mut best = 0.0f64;
+    for u in 0..n as u32 {
+        let to_u = exact_hitting_times(g, u);
+        for v in (u + 1)..n as u32 {
+            let to_v = exact_hitting_times(g, v);
+            let c = to_v[u as usize] + to_u[v as usize];
+            best = best.max(c / g.total_degree() as f64);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::classic;
+
+    #[test]
+    fn commute_is_symmetric_and_zero_on_diagonal() {
+        let g = classic::lollipop(9).unwrap();
+        assert_eq!(commute_time(&g, 3, 3), 0.0);
+        let a = commute_time(&g, 0, 7);
+        let b = commute_time(&g, 7, 0);
+        assert!((a - b).abs() < 1e-8);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn path_resistance_is_hop_distance() {
+        // On a tree, R_eff(u, v) = dist(u, v) (unit resistors in series).
+        let g = classic::path(6).unwrap();
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                if u == v {
+                    continue;
+                }
+                let r = effective_resistance(&g, u, v);
+                let d = u.abs_diff(v) as f64;
+                assert!((r - d).abs() < 1e-8, "R({u},{v}) = {r}, dist {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_resistance_is_parallel_arcs() {
+        // On C_n, the two arcs between u and v are resistors in parallel:
+        // R = k(n−k)/n for hop distance k.
+        let n = 8u32;
+        let g = classic::cycle(n as usize).unwrap();
+        for k in 1..n {
+            let r = effective_resistance(&g, 0, k);
+            let expect = (k * (n - k)) as f64 / n as f64;
+            assert!((r - expect).abs() < 1e-8, "k = {k}: {r} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_resistance() {
+        // K_n: R_eff = 2/n between any pair.
+        let n = 7usize;
+        let g = classic::complete(n).unwrap();
+        let r = effective_resistance(&g, 0, 3);
+        assert!((r - 2.0 / n as f64).abs() < 1e-8, "r = {r}");
+    }
+
+    #[test]
+    fn commute_identity_against_direct_hitting() {
+        let g = classic::star(6).unwrap();
+        // H(leaf, hub) = 1, H(hub, leaf) = 2(n−1) − 1 = 9; C = 10 = 2m·R.
+        let c = commute_time(&g, 1, 0);
+        assert!((c - 10.0).abs() < 1e-8);
+        let r = effective_resistance(&g, 1, 0);
+        assert!((r - 1.0).abs() < 1e-8, "leaf-hub is a single unit edge");
+    }
+
+    #[test]
+    fn resistance_diameter_of_path() {
+        let g = classic::path(5).unwrap();
+        assert!((resistance_diameter(&g) - 4.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,229 @@
+//! Exact hitting times of the simple random walk via linear solves —
+//! ground truth for validating the Monte-Carlo drivers on small graphs.
+//!
+//! The hitting times `h(x) = H(x, v)` of the simple walk solve the linear
+//! system `h(v) = 0`, `h(x) = 1 + (1/d(x)) Σ_{y∈N(x)} h(y)` for `x ≠ v`.
+//! We solve it by dense Gaussian elimination with partial pivoting —
+//! `O(n³)`, intended for `n ≤ ~1000` test instances.
+
+use cobra_graph::{Graph, Vertex};
+
+/// Solve `A·x = b` in place by Gaussian elimination with partial pivoting.
+/// `a` is row-major `n×n`. Returns `None` for (numerically) singular
+/// systems.
+pub fn solve_dense(a: &mut [f64], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix shape");
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Exact expected hitting times `H(x, target)` of the **simple random
+/// walk** for every start `x`. Requires a connected graph.
+pub fn exact_hitting_times(g: &Graph, target: Vertex) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!(n >= 1);
+    assert!((target as usize) < n);
+    assert!(
+        cobra_graph::metrics::is_connected(g),
+        "hitting times need a connected graph"
+    );
+    if n == 1 {
+        return vec![0.0];
+    }
+    // Variables: h(x) for x != target, indexed by dense position.
+    let mut var_of = vec![usize::MAX; n];
+    let mut vars = Vec::with_capacity(n - 1);
+    for v in g.vertices() {
+        if v != target {
+            var_of[v as usize] = vars.len();
+            vars.push(v);
+        }
+    }
+    let m = vars.len();
+    let mut a = vec![0.0; m * m];
+    let mut b = vec![1.0; m];
+    for (i, &x) in vars.iter().enumerate() {
+        a[i * m + i] = 1.0;
+        let dx = g.degree(x) as f64;
+        for &y in g.neighbors(x) {
+            if y != target {
+                a[i * m + var_of[y as usize]] -= 1.0 / dx;
+            }
+        }
+    }
+    let sol = solve_dense(&mut a, &mut b).expect("hitting system is nonsingular");
+    let mut h = vec![0.0; n];
+    for (i, &x) in vars.iter().enumerate() {
+        h[x as usize] = sol[i];
+    }
+    h
+}
+
+/// Exact expected return time to `v` for the simple walk: `2m / d(v)`
+/// (Kac's formula). Provided for cross-checking biased-walk return-time
+/// experiments.
+pub fn exact_return_time(g: &Graph, v: Vertex) -> f64 {
+    g.total_degree() as f64 / g.degree(v) as f64
+}
+
+/// The maximum exact hitting time `max_{u,v} H(u,v)` of the simple walk —
+/// exact `h_max` for small graphs (runs `n` linear solves: `O(n⁴)`).
+pub fn exact_hmax(g: &Graph) -> f64 {
+    let mut worst = 0.0f64;
+    for v in g.vertices() {
+        let h = exact_hitting_times(g, v);
+        for &x in &h {
+            worst = worst.max(x);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::classic;
+
+    #[test]
+    fn solve_dense_simple_system() {
+        // x + y = 3; x - y = 1 -> (2, 1)
+        let mut a = vec![1.0, 1.0, 1.0, -1.0];
+        let mut b = vec![3.0, 1.0];
+        let x = solve_dense(&mut a, &mut b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_detects_singular() {
+        let mut a = vec![1.0, 1.0, 2.0, 2.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b).is_none());
+    }
+
+    #[test]
+    fn solve_dense_needs_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![5.0, 7.0];
+        let x = solve_dense(&mut a, &mut b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_hitting_times_match_formula() {
+        // On C_n, H(x, 0) = k(n−k) where k is the hop distance.
+        let n = 9;
+        let g = classic::cycle(n).unwrap();
+        let h = exact_hitting_times(&g, 0);
+        for (x, &hx) in h.iter().enumerate() {
+            let k = x.min(n - x) as f64;
+            let expect = k * (n as f64 - k);
+            assert!((hx - expect).abs() < 1e-8, "H({x},0) = {hx}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_hitting_times() {
+        // On K_n, H(x, v) = n − 1 for x ≠ v.
+        let g = classic::complete(7).unwrap();
+        let h = exact_hitting_times(&g, 3);
+        for (x, &hx) in h.iter().enumerate() {
+            let expect = if x == 3 { 0.0 } else { 6.0 };
+            assert!((hx - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_hitting_time_is_quadratic() {
+        // On P_n (0..n−1), H(k, 0) = k². (Gambler's ruin with reflecting
+        // top end: H(k,0) = k^2 for path? For path with reflecting end at
+        // n−1: H(k, 0) = k(2n − k − 1) − k(k−1) … verify against the
+        // standard formula H(k,0) = k² + k(2(n−1−k))·… — simpler: check
+        // endpoints via direct recurrence values for small n.)
+        let g = classic::path(4).unwrap();
+        let h = exact_hitting_times(&g, 0);
+        // Exact values for P_4 (states 0..3): h(1) = 5, h(2) = 8, h(3) = 9.
+        assert!((h[1] - 5.0).abs() < 1e-9, "h1 = {}", h[1]);
+        assert!((h[2] - 8.0).abs() < 1e-9, "h2 = {}", h[2]);
+        assert!((h[3] - 9.0).abs() < 1e-9, "h3 = {}", h[3]);
+    }
+
+    #[test]
+    fn star_hitting_times() {
+        // Star with hub 0: H(leaf, 0) = 1. H(0, leaf) = 2(n−1) − 1.
+        let n = 6;
+        let g = classic::star(n).unwrap();
+        let to_hub = exact_hitting_times(&g, 0);
+        for leaf in 1..n {
+            assert!((to_hub[leaf] - 1.0).abs() < 1e-9);
+        }
+        let to_leaf = exact_hitting_times(&g, 1);
+        assert!((to_leaf[0] - (2.0 * (n as f64 - 1.0) - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kac_return_time() {
+        let g = classic::star(5).unwrap();
+        assert!((exact_return_time(&g, 0) - 2.0).abs() < 1e-12); // hub
+        assert!((exact_return_time(&g, 1) - 8.0).abs() < 1e-12); // leaf
+    }
+
+    #[test]
+    fn hmax_of_path_is_end_to_end() {
+        let n = 8;
+        let g = classic::path(n).unwrap();
+        let hmax = exact_hmax(&g);
+        // End-to-end hitting time of P_n is (n−1)².
+        assert!((hmax - 49.0).abs() < 1e-8, "hmax = {hmax}");
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = cobra_graph::builder::from_edges(1, &[]).unwrap();
+        assert_eq!(exact_hitting_times(&g, 0), vec![0.0]);
+    }
+}

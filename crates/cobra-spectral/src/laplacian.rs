@@ -1,0 +1,203 @@
+//! Normalized-Laplacian spectral gap and the Cheeger inequality.
+//!
+//! Theorem 8's proof converts conductance to a spectral quantity via
+//! `|p_t(v) − π(v)| ≤ e^{−t·ν₂} ≤ e^{−t·Φ²/2}`. This module measures the
+//! spectral side: the gap `ν₂ = 1 − λ₂(D^{-1/2} A D^{-1/2})` of the
+//! normalized Laplacian, plus the two-sided Cheeger inequality
+//! `ν₂/2 ≤ Φ_G ≤ √(2·ν₂)` that the experiments use to sanity-check the
+//! sweep-cut conductance estimates from `cobra-graph`.
+
+use crate::matrix::CsrMatrix;
+use crate::power::{power_iteration, second_eigenvalue};
+use cobra_graph::Graph;
+
+/// The symmetric normalized adjacency `N = D^{-1/2} A D^{-1/2}`.
+///
+/// Its top eigenvalue is 1 with eigenvector `√d(v)`; `1 − λ₂(N)` is the
+/// normalized-Laplacian spectral gap. Isolated vertices are not allowed.
+pub fn normalized_adjacency(g: &Graph) -> CsrMatrix {
+    assert!(g.min_degree() > 0, "graph must have min degree >= 1");
+    let inv_sqrt: Vec<f64> = g
+        .vertices()
+        .map(|v| 1.0 / (g.degree(v) as f64).sqrt())
+        .collect();
+    let rows: Vec<Vec<(u32, f64)>> = g
+        .vertices()
+        .map(|v| {
+            let sv = inv_sqrt[v as usize];
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, sv * inv_sqrt[u as usize]))
+                .collect()
+        })
+        .collect();
+    CsrMatrix::from_rows(g.num_vertices(), rows)
+}
+
+/// The normalized-Laplacian spectral gap `ν₂ = 1 − λ₂(N)`.
+///
+/// Computed by power iteration on the positive-semidefinite shift
+/// `M = (I + N)/2` (eigenvalues in `[0, 1]`, so the *algebraically*
+/// second-largest eigenvalue of `N` is recovered even on bipartite graphs
+/// where `λ_min(N) = −1` would otherwise dominate in absolute value).
+pub fn spectral_gap(g: &Graph, max_iters: usize, tol: f64) -> f64 {
+    let n = g.num_vertices();
+    assert!(n >= 2, "gap needs at least two vertices");
+    let nadj = normalized_adjacency(g);
+    // M = (I + N) / 2 assembled directly.
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|i| {
+            let (cols, vals) = nadj.row(i);
+            let mut row: Vec<(u32, f64)> =
+                cols.iter().zip(vals).map(|(&c, &v)| (c, v / 2.0)).collect();
+            row.push((i as u32, 0.5));
+            row
+        })
+        .collect();
+    let m = CsrMatrix::from_rows(n, rows);
+
+    // Exact dominant eigenvector of N (and M): sqrt(degree).
+    let dominant: Vec<f64> = g.vertices().map(|v| (g.degree(v) as f64).sqrt()).collect();
+    let top = power_iteration(&m, &dominant, max_iters, tol);
+    debug_assert!((top.value - 1.0).abs() < 1e-6, "top eigenvalue should be 1");
+    let second = second_eigenvalue(&m, &top.vector, max_iters, tol);
+    let lambda2 = 2.0 * second.value - 1.0; // undo the shift
+    (1.0 - lambda2).clamp(0.0, 2.0)
+}
+
+/// The Cheeger sandwich for the conductance given a spectral gap `nu2`:
+/// returns `(lower, upper) = (ν₂/2, √(2·ν₂))`.
+pub fn cheeger_bounds(nu2: f64) -> (f64, f64) {
+    assert!(nu2 >= 0.0, "gap must be non-negative");
+    (nu2 / 2.0, (2.0 * nu2).sqrt())
+}
+
+/// A spectral-ordering sweep cut: orders vertices by the second
+/// eigenvector of the normalized adjacency (the Fiedler-like direction,
+/// scaled back by `D^{-1/2}`) and returns the best prefix conductance.
+/// This is the Cheeger-quality estimator of `Φ_G` used for graphs too
+/// large for exact enumeration.
+pub fn spectral_sweep_conductance(g: &Graph, max_iters: usize, tol: f64) -> Option<f64> {
+    let n = g.num_vertices();
+    if n < 2 || g.num_edges() == 0 {
+        return None;
+    }
+    let nadj = normalized_adjacency(g);
+    let dominant: Vec<f64> = g.vertices().map(|v| (g.degree(v) as f64).sqrt()).collect();
+    // Shifted matrix for stability (same trick as spectral_gap).
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|i| {
+            let (cols, vals) = nadj.row(i);
+            let mut row: Vec<(u32, f64)> =
+                cols.iter().zip(vals).map(|(&c, &v)| (c, v / 2.0)).collect();
+            row.push((i as u32, 0.5));
+            row
+        })
+        .collect();
+    let m = CsrMatrix::from_rows(n, rows);
+    let top = power_iteration(&m, &dominant, max_iters, tol);
+    let second = second_eigenvalue(&m, &top.vector, max_iters, tol);
+    // Convert the N-eigenvector to the walk eigenvector: x / sqrt(d).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let score: Vec<f64> = second
+        .vector
+        .iter()
+        .zip(g.vertices())
+        .map(|(x, v)| x / (g.degree(v) as f64).sqrt())
+        .collect();
+    order.sort_by(|&a, &b| {
+        score[a as usize]
+            .partial_cmp(&score[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cobra_graph::metrics::sweep_conductance(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::{classic, hypercube};
+    use cobra_graph::metrics::conductance_exact;
+
+    #[test]
+    fn complete_graph_gap() {
+        // K_n: normalized adjacency eigenvalues are 1 and −1/(n−1);
+        // gap = 1 + 1/(n−1) = n/(n−1).
+        let g = classic::complete(8).unwrap();
+        let gap = spectral_gap(&g, 5000, 1e-12);
+        assert!((gap - 8.0 / 7.0).abs() < 1e-5, "gap {gap}");
+    }
+
+    #[test]
+    fn cycle_gap_matches_formula() {
+        // C_n: λ₂ = cos(2π/n), gap = 1 − cos(2π/n).
+        let n = 16;
+        let g = classic::cycle(n).unwrap();
+        let gap = spectral_gap(&g, 20000, 1e-13);
+        let expect = 1.0 - (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!((gap - expect).abs() < 1e-5, "gap {gap} vs {expect}");
+    }
+
+    #[test]
+    fn hypercube_gap() {
+        // Q_d: normalized adjacency eigenvalues are 1 − 2k/d; gap = 2/d.
+        let d = 4u32;
+        let g = hypercube::hypercube(d);
+        let gap = spectral_gap(&g, 20000, 1e-13);
+        assert!((gap - 0.5).abs() < 1e-5, "gap {gap}");
+    }
+
+    #[test]
+    fn bipartite_graph_gap_is_algebraic_not_absolute() {
+        // Even cycle is bipartite: λ_min = −1. The gap must still use the
+        // algebraically-second eigenvalue cos(2π/n), not |−1|.
+        let g = classic::cycle(6).unwrap();
+        let gap = spectral_gap(&g, 20000, 1e-13);
+        let expect = 1.0 - (std::f64::consts::PI / 3.0).cos(); // 0.5
+        assert!((gap - expect).abs() < 1e-5, "gap {gap} vs {expect}");
+    }
+
+    #[test]
+    fn cheeger_sandwich_holds_on_small_graphs() {
+        for g in [
+            classic::complete(6).unwrap(),
+            classic::cycle(10).unwrap(),
+            classic::barbell(4, 0).unwrap(),
+            hypercube::hypercube(3),
+        ] {
+            let gap = spectral_gap(&g, 50000, 1e-13);
+            let phi = conductance_exact(&g).unwrap();
+            let (lo, hi) = cheeger_bounds(gap);
+            assert!(
+                phi >= lo - 1e-6 && phi <= hi + 1e-6,
+                "Cheeger violated: {lo} <= {phi} <= {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_sweep_finds_barbell_bottleneck() {
+        let g = classic::barbell(5, 0).unwrap();
+        let phi_exact = conductance_exact(&g).unwrap();
+        let phi_sweep = spectral_sweep_conductance(&g, 50000, 1e-13).unwrap();
+        // Sweep is an upper bound and on a barbell should be exact.
+        assert!(phi_sweep >= phi_exact - 1e-9);
+        assert!(
+            (phi_sweep - phi_exact).abs() < 1e-6,
+            "sweep {phi_sweep} vs exact {phi_exact}"
+        );
+    }
+
+    #[test]
+    fn sweep_none_for_empty() {
+        let g = cobra_graph::Graph::empty(3);
+        assert!(spectral_sweep_conductance(&g, 100, 1e-6).is_none());
+    }
+
+    #[test]
+    fn cheeger_bounds_shape() {
+        let (lo, hi) = cheeger_bounds(0.5);
+        assert!((lo - 0.25).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+    }
+}

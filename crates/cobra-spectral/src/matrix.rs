@@ -1,0 +1,232 @@
+//! Compressed-sparse-row matrices with parallel matvec.
+
+use rayon::prelude::*;
+
+/// Threshold (in stored entries) above which matvec parallelizes with
+/// rayon. Below it, thread fan-out costs more than it saves.
+const PARALLEL_THRESHOLD: usize = 1 << 15;
+
+/// An immutable sparse matrix in CSR form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from per-row `(col, value)` lists. Entries within a row need
+    /// not be sorted; duplicates are summed.
+    pub fn from_rows(n_cols: usize, rows: Vec<Vec<(u32, f64)>>) -> Self {
+        let n_rows = rows.len();
+        let mut offsets = Vec::with_capacity(n_rows + 1);
+        offsets.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for row in rows {
+            scratch.clear();
+            scratch.extend(row);
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                assert!((c as usize) < n_cols, "column {c} out of range");
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                cols.push(c);
+                vals.push(v);
+            }
+            offsets.push(cols.len());
+        }
+        CsrMatrix { n_rows, n_cols, offsets, cols, vals }
+    }
+
+    /// The zero matrix of the given shape.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        CsrMatrix { n_rows, n_cols, offsets: vec![0; n_rows + 1], cols: vec![], vals: vec![] }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The entries of row `i` as `(cols, vals)` slices.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[i];
+        let hi = self.offsets[i + 1];
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Entry `(i, j)`, zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A·x`. Parallelizes over rows for large matrices.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "x length");
+        assert_eq!(y.len(), self.n_rows, "y length");
+        let row_dot = |i: usize| -> f64 {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &v)| v * x[c as usize])
+                .sum()
+        };
+        if self.nnz() >= PARALLEL_THRESHOLD {
+            y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = row_dot(i));
+        } else {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi = row_dot(i);
+            }
+        }
+    }
+
+    /// `y = Aᵀ·x` (left-multiplication `xᵀA`, used for evolving row-vector
+    /// distributions `π_{t+1} = π_t P`). Sequential scatter.
+    pub fn matvec_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_rows, "x length");
+        assert_eq!(y.len(), self.n_cols, "y length");
+        y.fill(0.0);
+        for i in 0..self.n_rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xi;
+            }
+        }
+    }
+
+    /// Sum of each row (for stochasticity checks).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n_rows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Whether every row sums to 1 within `tol` (row-stochastic matrix).
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        self.row_sums().iter().all(|&s| (s - 1.0).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [1 2 0]
+        // [0 0 3]
+        CsrMatrix::from_rows(3, vec![vec![(0, 1.0), (1, 2.0)], vec![(2, 3.0)]])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = example();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let m = CsrMatrix::from_rows(2, vec![vec![(1, 1.0), (1, 2.5)]]);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn unsorted_rows_are_sorted() {
+        let m = CsrMatrix::from_rows(3, vec![vec![(2, 1.0), (0, 2.0)]]);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_column() {
+        CsrMatrix::from_rows(2, vec![vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = example();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 2];
+        m.matvec(&x, &mut y);
+        assert_eq!(y, [5.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_dense() {
+        let m = example();
+        let x = [1.0, 2.0];
+        let mut y = [0.0; 3];
+        m.matvec_transpose(&x, &mut y);
+        // Aᵀ x = [1, 2, 6]
+        assert_eq!(y, [1.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn zeros_matrix() {
+        let m = CsrMatrix::zeros(3, 4);
+        assert_eq!(m.nnz(), 0);
+        let mut y = [9.0; 3];
+        m.matvec(&[1.0; 4], &mut y);
+        assert_eq!(y, [0.0; 3]);
+    }
+
+    #[test]
+    fn row_sums_and_stochasticity() {
+        let m = CsrMatrix::from_rows(
+            2,
+            vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 1.0)]],
+        );
+        assert_eq!(m.row_sums(), vec![1.0, 1.0]);
+        assert!(m.is_row_stochastic(1e-12));
+        let bad = CsrMatrix::from_rows(2, vec![vec![(0, 0.7)], vec![(1, 1.0)]]);
+        assert!(!bad.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn large_matvec_parallel_path() {
+        // Identity of size 40_000 exercises the rayon path
+        // (nnz >= PARALLEL_THRESHOLD).
+        let n = 40_000usize;
+        let rows: Vec<Vec<(u32, f64)>> = (0..n).map(|i| vec![(i as u32, 2.0)]).collect();
+        let m = CsrMatrix::from_rows(n, rows);
+        let x = vec![1.5; n];
+        let mut y = vec![0.0; n];
+        m.matvec(&x, &mut y);
+        assert!(y.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,156 @@
+//! Mixing-time estimates: spectral predictions and direct measurement.
+//!
+//! Theorem 8 uses `|p_t(v) − π(v)| ≤ e^{−t·Φ²/2}`, i.e. a mixing time of
+//! `t = 2·log(2n)/Φ²` suffices to flatten the walk to within `1/2n`
+//! pointwise. This module provides both that spectral prediction and a
+//! direct (exact-evolution) measurement so experiments can compare.
+
+use crate::matrix::CsrMatrix;
+use crate::walk_matrix::{delta, evolve, stationary_distribution, transition_matrix, tv_distance};
+use cobra_graph::Graph;
+
+/// The paper's Theorem 8 epoch length: `t ≥ 2·log(2n)/Φ²` makes every
+/// pointwise deviation at most `1/(2n)`.
+pub fn epoch_length_from_conductance(phi: f64, n: usize) -> usize {
+    assert!(phi > 0.0, "conductance must be positive");
+    let t = 2.0 * ((2 * n) as f64).ln() / (phi * phi);
+    t.ceil() as usize
+}
+
+/// Spectral mixing-time prediction from a normalized-Laplacian gap `ν₂`:
+/// `t_mix(ε) ≈ ln(n/ε)/ν₂` (relaxation-time heuristic).
+pub fn mixing_time_from_gap(nu2: f64, n: usize, eps: f64) -> usize {
+    assert!(nu2 > 0.0 && eps > 0.0);
+    ((n as f64 / eps).ln() / nu2).ceil() as usize
+}
+
+/// Measured ε-mixing time of a transition matrix from the worst of the
+/// provided start vertices: the first `t ≤ max_steps` with
+/// `TV(p_t, π) ≤ ε` for all starts. Returns `None` if not reached.
+pub fn measured_mixing_time(
+    p: &CsrMatrix,
+    pi: &[f64],
+    starts: &[usize],
+    eps: f64,
+    max_steps: usize,
+) -> Option<usize> {
+    let n = pi.len();
+    let mut dists: Vec<Vec<f64>> = starts.iter().map(|&s| delta(n, s)).collect();
+    // Step all starts in lockstep; early-exit when all are mixed.
+    for t in 0..=max_steps {
+        if dists.iter().all(|d| tv_distance(d, pi) <= eps) {
+            return Some(t);
+        }
+        if t == max_steps {
+            break;
+        }
+        for d in &mut dists {
+            *d = evolve(p, d, 1);
+        }
+    }
+    None
+}
+
+/// Convenience: measured mixing time of the **lazy** simple walk on `g`
+/// from every vertex (exact evolution; small graphs only).
+pub fn lazy_walk_mixing_time(g: &Graph, eps: f64, max_steps: usize) -> Option<usize> {
+    let p = crate::walk_matrix::lazy_transition_matrix(g, 0.5);
+    let pi = stationary_distribution(g);
+    let starts: Vec<usize> = (0..g.num_vertices()).collect();
+    measured_mixing_time(&p, &pi, &starts, eps, max_steps)
+}
+
+/// Pointwise (∞-norm) deviation from stationarity after `t` steps of the
+/// simple walk from `start` — the exact quantity Theorem 8's epoch
+/// argument bounds by `e^{−t·Φ²/2}`.
+pub fn pointwise_deviation(g: &Graph, start: usize, t: usize) -> f64 {
+    let p = transition_matrix(g);
+    let pi = stationary_distribution(g);
+    let dist = evolve(&p, &delta(g.num_vertices(), start), t);
+    dist.iter()
+        .zip(&pi)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::{classic, hypercube};
+
+    #[test]
+    fn epoch_length_scales_inverse_square() {
+        let n = 1000;
+        let a = epoch_length_from_conductance(0.5, n);
+        let b = epoch_length_from_conductance(0.25, n);
+        // Φ halved -> epoch ~4x.
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn epoch_rejects_zero_phi() {
+        epoch_length_from_conductance(0.0, 10);
+    }
+
+    #[test]
+    fn mixing_time_from_gap_monotone() {
+        assert!(mixing_time_from_gap(0.1, 100, 0.01) > mixing_time_from_gap(0.5, 100, 0.01));
+        assert!(mixing_time_from_gap(0.1, 100, 0.001) >= mixing_time_from_gap(0.1, 100, 0.01));
+    }
+
+    #[test]
+    fn complete_graph_mixes_almost_instantly() {
+        let g = classic::complete(12).unwrap();
+        let t = lazy_walk_mixing_time(&g, 0.01, 100).unwrap();
+        assert!(t <= 10, "K12 lazy mixing time {t}");
+    }
+
+    #[test]
+    fn cycle_mixes_slowly() {
+        let fast = lazy_walk_mixing_time(&classic::complete(16).unwrap(), 0.01, 10_000).unwrap();
+        let slow = lazy_walk_mixing_time(&classic::cycle(16).unwrap(), 0.01, 10_000).unwrap();
+        assert!(slow > 3 * fast, "cycle {slow} vs complete {fast}");
+    }
+
+    #[test]
+    fn measured_mixing_time_none_when_budget_short() {
+        let g = classic::cycle(32).unwrap();
+        assert_eq!(lazy_walk_mixing_time(&g, 0.001, 2), None);
+    }
+
+    #[test]
+    fn pointwise_deviation_decays_on_hypercube() {
+        let g = hypercube::hypercube(4);
+        let d1 = pointwise_deviation(&g, 0, 1);
+        let d20 = pointwise_deviation(&g, 0, 20);
+        assert!(d20 < d1);
+        // Note: the plain (non-lazy) hypercube walk is periodic, so d20
+        // does not go to 0; it goes to the parity-restricted profile. The
+        // decay check above still holds because early steps are far more
+        // concentrated. For the true Theorem 8 comparison the harness uses
+        // the lazy walk.
+    }
+
+    #[test]
+    fn theorem8_pointwise_bound_holds_on_expanderish_graph() {
+        // For K_n (conductance ~ 1/2 + …) the paper's bound
+        // e^{−tΦ²/2} should comfortably dominate the measured deviation
+        // for moderately large t (lazy chain: use lazy matrix through the
+        // measured deviation of the lazy walk).
+        let g = classic::complete(10).unwrap();
+        let phi = cobra_graph::metrics::conductance_exact(&g).unwrap();
+        let p = crate::walk_matrix::lazy_transition_matrix(&g, 0.5);
+        let pi = stationary_distribution(&g);
+        let t = 40usize;
+        let dist = evolve(&p, &delta(10, 0), t);
+        let dev = dist
+            .iter()
+            .zip(&pi)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let bound = (-(t as f64) * phi * phi / 2.0).exp();
+        assert!(dev <= bound, "measured {dev} vs bound {bound}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Power iteration and deflation for extremal eigenpairs of symmetric
+//! matrices (and spectral radii of general non-negative matrices).
+
+use crate::matrix::CsrMatrix;
+
+/// Result of an iterative eigenpair computation.
+#[derive(Clone, Debug)]
+pub struct EigenResult {
+    /// The eigenvalue estimate (Rayleigh quotient at the final iterate).
+    pub value: f64,
+    /// The (normalized) eigenvector estimate.
+    pub vector: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Power iteration for the dominant eigenpair of a symmetric matrix `a`,
+/// starting from `x0` (pass a deterministic non-degenerate start; e.g. an
+/// indicator plus a ramp). Converges to the eigenvalue largest in
+/// **absolute value**.
+pub fn power_iteration(
+    a: &CsrMatrix,
+    x0: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> EigenResult {
+    assert_eq!(a.n_rows(), a.n_cols(), "square matrix");
+    assert_eq!(x0.len(), a.n_rows());
+    let mut x = x0.to_vec();
+    normalize(&mut x);
+    let mut y = vec![0.0; x.len()];
+    let mut lambda = 0.0;
+    for it in 1..=max_iters {
+        a.matvec(&x, &mut y);
+        let new_lambda = dot(&x, &y); // Rayleigh quotient (‖x‖ = 1)
+        let ny = norm(&y);
+        if ny == 0.0 {
+            return EigenResult { value: 0.0, vector: x, iterations: it, converged: true };
+        }
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
+            return EigenResult { value: new_lambda, vector: x, iterations: it, converged: true };
+        }
+        lambda = new_lambda;
+    }
+    EigenResult { value: lambda, vector: x, iterations: max_iters, converged: false }
+}
+
+/// Second-largest eigenvalue (in absolute value) of a symmetric matrix,
+/// given its dominant eigenvector: power iteration with repeated
+/// orthogonalization against `dominant`.
+pub fn second_eigenvalue(
+    a: &CsrMatrix,
+    dominant: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> EigenResult {
+    assert_eq!(a.n_rows(), a.n_cols());
+    let n = a.n_rows();
+    let mut d = dominant.to_vec();
+    normalize(&mut d);
+    // Deterministic start orthogonal to nothing in particular; a ramp
+    // breaks symmetry on vertex-transitive graphs.
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).sin()).collect();
+    let proj = dot(&x, &d);
+    for (xi, di) in x.iter_mut().zip(&d) {
+        *xi -= proj * di;
+    }
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0;
+    for it in 1..=max_iters {
+        a.matvec(&x, &mut y);
+        // Re-orthogonalize every iteration to suppress drift back toward
+        // the dominant eigenspace.
+        let proj = dot(&y, &d);
+        for (yi, di) in y.iter_mut().zip(&d) {
+            *yi -= proj * di;
+        }
+        let new_lambda = dot(&x, &y);
+        let ny = norm(&y);
+        if ny == 0.0 {
+            return EigenResult { value: 0.0, vector: x, iterations: it, converged: true };
+        }
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
+            return EigenResult { value: new_lambda, vector: x, iterations: it, converged: true };
+        }
+        lambda = new_lambda;
+    }
+    EigenResult { value: lambda, vector: x, iterations: max_iters, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(entries: &[&[f64]]) -> CsrMatrix {
+        let n = entries.len();
+        let rows = entries
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(j, &v)| (j as u32, v))
+                    .collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(n, rows)
+    }
+
+    #[test]
+    fn diagonal_matrix_dominant() {
+        let a = dense(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let r = power_iteration(&a, &[1.0, 1.0], 500, 1e-12);
+        assert!(r.converged);
+        assert!((r.value - 3.0).abs() < 1e-9);
+        assert!(r.vector[0].abs() > 0.999);
+    }
+
+    #[test]
+    fn symmetric_2x2_pair() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = dense(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let top = power_iteration(&a, &[1.0, 0.5], 1000, 1e-13);
+        assert!((top.value - 3.0).abs() < 1e-8, "top {}", top.value);
+        let second = second_eigenvalue(&a, &top.vector, 1000, 1e-13);
+        assert!((second.value - 1.0).abs() < 1e-6, "second {}", second.value);
+    }
+
+    #[test]
+    fn second_eigenvalue_of_complete_graph_adjacency() {
+        // K_4 adjacency: eigenvalues 3, -1, -1, -1.
+        let a = dense(&[
+            &[0.0, 1.0, 1.0, 1.0],
+            &[1.0, 0.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0, 0.0],
+        ]);
+        let top = power_iteration(&a, &[1.0, 1.1, 0.9, 1.0], 2000, 1e-13);
+        assert!((top.value - 3.0).abs() < 1e-7);
+        let second = second_eigenvalue(&a, &top.vector, 2000, 1e-13);
+        assert!((second.value.abs() - 1.0).abs() < 1e-5, "second {}", second.value);
+    }
+
+    #[test]
+    fn zero_matrix_converges_to_zero() {
+        let a = CsrMatrix::zeros(3, 3);
+        let r = power_iteration(&a, &[1.0, 2.0, 3.0], 10, 1e-12);
+        assert!(r.converged);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        // Nearly-degenerate spectrum (1 vs 0.999) with zero tolerance:
+        // the Rayleigh quotient keeps creeping for far more than 5 steps.
+        let a = dense(&[&[1.0, 0.0], &[0.0, 0.999]]);
+        let r = power_iteration(&a, &[1.0, 1.0], 5, 0.0);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 5);
+    }
+}

@@ -1,0 +1,313 @@
+//! The directed tensor-product chain **D(G×G)** of Lemma 11.
+//!
+//! Lemma 11 analyzes the joint walk of two Walt pebbles `i < j` on a
+//! `d`-regular graph `G` as a random walk on a *directed, multi-edge*
+//! version of the tensor product `G×G`:
+//!
+//! * off-diagonal states `(u, v)`, `u ≠ v` (the paper's `S₂`): both
+//!   pebbles step independently — probability `1/d²` per pair of
+//!   neighbor choices;
+//! * diagonal states `(u, u)` (the paper's `S₁`): the lower-order pebble
+//!   leads with a uniform choice `x`, and the follower copies it with
+//!   probability 1/2 (total probability of landing together:
+//!   `1/2 + 1/(2d)`), giving `P[(u,u) → (x,x)] = (d+1)/(2d²)` and
+//!   `P[(u,u) → (x,y)] = 1/(2d²)` for `x ≠ y` — exactly the paper's
+//!   multi-edge weights;
+//! * the chain is Eulerian, so its stationary distribution is
+//!   `out-degree/|E|`: `2/(n²+n)` on the diagonal and `1/(n²+n)` off it,
+//!   which is how the paper bounds `Pr[E_i ∩ E_j] ≤ 2/(n²+n) + 1/n⁴`
+//!   after mixing.
+//!
+//! Experiment E6 builds this chain, verifies the stationary distribution
+//! against power iteration, and checks the collision-probability bound.
+
+use crate::matrix::CsrMatrix;
+use crate::walk_matrix::{evolve, tv_distance};
+use cobra_graph::{Graph, Vertex};
+
+/// Cap on `n²·d²` stored entries (≈ 800 MB of f64+index at the cap).
+const MAX_ENTRIES: usize = 50_000_000;
+
+/// The materialized D(G×G) chain for a `d`-regular graph.
+pub struct TensorChain {
+    n: usize,
+    degree: usize,
+    lazy: bool,
+    p: CsrMatrix,
+}
+
+impl TensorChain {
+    /// Build the chain. Panics if `g` is not regular (Lemma 11's setting)
+    /// or too large to materialize.
+    pub fn new(g: &Graph, lazy: bool) -> Self {
+        let n = g.num_vertices();
+        let degree = g
+            .regularity()
+            .expect("Lemma 11's tensor chain requires a d-regular graph");
+        assert!(degree >= 1, "graph must have edges");
+        assert!(
+            n * n * degree * degree <= MAX_ENTRIES,
+            "tensor chain too large: n²·d² = {} entries",
+            n * n * degree * degree
+        );
+
+        let d = degree as f64;
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n * n);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let mut row: Vec<(u32, f64)> = Vec::with_capacity(degree * degree + 1);
+                if a != b {
+                    // S2: independent moves.
+                    let pr = 1.0 / (d * d);
+                    for &x in g.neighbors(a) {
+                        for &y in g.neighbors(b) {
+                            row.push((Self::index_of_n(n, x, y), pr));
+                        }
+                    }
+                } else {
+                    // S1: leader + coin-flip follower.
+                    let together = (d + 1.0) / (2.0 * d * d);
+                    let apart = 1.0 / (2.0 * d * d);
+                    for &x in g.neighbors(a) {
+                        for &y in g.neighbors(a) {
+                            let pr = if x == y { together } else { apart };
+                            row.push((Self::index_of_n(n, x, y), pr));
+                        }
+                    }
+                }
+                if lazy {
+                    for e in &mut row {
+                        e.1 *= 0.5;
+                    }
+                    row.push((Self::index_of_n(n, a, b), 0.5));
+                }
+                rows.push(row);
+            }
+        }
+        let p = CsrMatrix::from_rows(n * n, rows);
+        debug_assert!(p.is_row_stochastic(1e-9));
+        TensorChain { n, degree, lazy, p }
+    }
+
+    #[inline]
+    fn index_of_n(n: usize, a: Vertex, b: Vertex) -> u32 {
+        (a as usize * n + b as usize) as u32
+    }
+
+    /// Flattened state index of the pebble pair `(a, b)`.
+    pub fn index_of(&self, a: Vertex, b: Vertex) -> usize {
+        a as usize * self.n + b as usize
+    }
+
+    /// Inverse of [`TensorChain::index_of`].
+    pub fn pair_of(&self, idx: usize) -> (Vertex, Vertex) {
+        ((idx / self.n) as Vertex, (idx % self.n) as Vertex)
+    }
+
+    /// Number of states `n²`.
+    pub fn num_states(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Degree of the underlying regular graph.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Whether the chain includes the paper's global-laziness self-loops.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// The transition matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// Lemma 11's closed-form stationary distribution: `2/(n²+n)` on the
+    /// diagonal (`S₁`), `1/(n²+n)` off it (`S₂`).
+    pub fn theoretical_stationary(&self) -> Vec<f64> {
+        let n = self.n;
+        let diag = 2.0 / ((n * n + n) as f64);
+        let off = 1.0 / ((n * n + n) as f64);
+        (0..n * n)
+            .map(|idx| if idx / n == idx % n { diag } else { off })
+            .collect()
+    }
+
+    /// Distribution over pair-states after `steps` rounds from the pebble
+    /// pair `(a, b)`.
+    pub fn evolve_from(&self, a: Vertex, b: Vertex, steps: usize) -> Vec<f64> {
+        let mut start = vec![0.0; self.num_states()];
+        start[self.index_of(a, b)] = 1.0;
+        evolve(&self.p, &start, steps)
+    }
+
+    /// Probability the two pebbles are co-located (`Σ` of diagonal mass)
+    /// after `steps` rounds from `(a, b)` — the `Pr[E_i ∩ E_j]`-style
+    /// quantity of Lemma 11 aggregated over all meeting vertices.
+    pub fn collision_probability(&self, a: Vertex, b: Vertex, steps: usize) -> f64 {
+        let dist = self.evolve_from(a, b, steps);
+        (0..self.n).map(|u| dist[u * self.n + u]).sum()
+    }
+
+    /// Probability that both pebbles sit at the specific vertex `v` after
+    /// `steps` rounds from `(a, b)` — literally Lemma 11's
+    /// `Pr[E_i ∩ E_j]` for target `v`.
+    pub fn joint_occupancy(&self, a: Vertex, b: Vertex, v: Vertex, steps: usize) -> f64 {
+        let dist = self.evolve_from(a, b, steps);
+        dist[self.index_of(v, v)]
+    }
+
+    /// Total-variation distance of the `steps`-step distribution from the
+    /// Eulerian stationary distribution (mixing diagnostic).
+    pub fn distance_to_stationary(&self, a: Vertex, b: Vertex, steps: usize) -> f64 {
+        let dist = self.evolve_from(a, b, steps);
+        tv_distance(&dist, &self.theoretical_stationary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators::{classic, hypercube};
+
+    #[test]
+    fn chain_shape() {
+        let g = classic::cycle(5).unwrap();
+        let tc = TensorChain::new(&g, true);
+        assert_eq!(tc.num_states(), 25);
+        assert_eq!(tc.degree(), 2);
+        assert!(tc.is_lazy());
+        assert!(tc.matrix().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = classic::cycle(5).unwrap();
+        let tc = TensorChain::new(&g, false);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                let idx = tc.index_of(a, b);
+                assert_eq!(tc.pair_of(idx), (a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regular")]
+    fn rejects_irregular_graph() {
+        let g = classic::star(5).unwrap();
+        TensorChain::new(&g, false);
+    }
+
+    #[test]
+    fn diagonal_transitions_match_lemma11_weights() {
+        let g = classic::cycle(6).unwrap(); // d = 2
+        let tc = TensorChain::new(&g, false);
+        let p = tc.matrix();
+        // From (0,0): neighbors of 0 are {1, 5}. Together prob (d+1)/(2d²)
+        // = 3/8 per meeting vertex; apart 1/(2d²) = 1/8 per ordered pair.
+        let from = tc.index_of(0, 0);
+        assert!((p.get(from, tc.index_of(1, 1)) - 0.375).abs() < 1e-12);
+        assert!((p.get(from, tc.index_of(5, 5)) - 0.375).abs() < 1e-12);
+        assert!((p.get(from, tc.index_of(1, 5)) - 0.125).abs() < 1e-12);
+        assert!((p.get(from, tc.index_of(5, 1)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_diagonal_transitions_are_independent() {
+        let g = classic::cycle(6).unwrap();
+        let tc = TensorChain::new(&g, false);
+        let p = tc.matrix();
+        let from = tc.index_of(0, 3);
+        // Each of the 4 (x, y) pairs has probability 1/4.
+        for x in [1u32, 5] {
+            for y in [2u32, 4] {
+                assert!((p.get(from, tc.index_of(x, y)) - 0.25).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eulerian_stationary_is_a_fixed_point() {
+        // The Lemma 11 claim: the closed-form π is stationary for the chain.
+        for lazy in [false, true] {
+            let g = hypercube::hypercube(3); // 3-regular, 8 vertices
+            let tc = TensorChain::new(&g, lazy);
+            let pi = tc.theoretical_stationary();
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let evolved = evolve(tc.matrix(), &pi, 1);
+            assert!(
+                tv_distance(&pi, &evolved) < 1e-10,
+                "π not stationary (lazy = {lazy})"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_chain_mixes_to_stationary_on_non_bipartite_graph() {
+        // Lemma 11's irreducibility claim needs G non-bipartite: use C5.
+        let g = classic::cycle(5).unwrap();
+        let tc = TensorChain::new(&g, true);
+        let d0 = tc.distance_to_stationary(0, 2, 0);
+        let d2k = tc.distance_to_stationary(0, 2, 2000);
+        assert!(d0 > 0.9);
+        assert!(d2k < 1e-4, "TV after 2000 lazy steps: {d2k}");
+    }
+
+    #[test]
+    fn collision_probability_converges_to_diagonal_mass() {
+        let g = classic::complete(6).unwrap(); // 5-regular, non-bipartite
+        let tc = TensorChain::new(&g, true);
+        let n = 6.0f64;
+        let stationary_diag = 6.0 * 2.0 / (n * n + n); // n · 2/(n²+n)
+        let p = tc.collision_probability(0, 3, 300);
+        assert!(
+            (p - stationary_diag).abs() < 1e-6,
+            "collision prob {p} vs {stationary_diag}"
+        );
+    }
+
+    #[test]
+    fn lemma11_bound_holds_after_mixing() {
+        // Pr[both at v] ≤ 2/(n²+n) + 1/n⁴ after s mixing steps, for a
+        // non-bipartite regular graph (K6).
+        let g = classic::complete(6).unwrap();
+        let n = 6.0f64;
+        let tc = TensorChain::new(&g, true);
+        let bound = 2.0 / (n * n + n) + 1.0 / n.powi(4);
+        for v in 0..6u32 {
+            let p = tc.joint_occupancy(0, 3, v, 300);
+            assert!(p <= bound, "joint occupancy {p} exceeds Lemma 11 bound {bound}");
+        }
+    }
+
+    #[test]
+    fn bipartite_graph_traps_odd_parity_pairs() {
+        // Reproduction note: on a bipartite regular graph (the hypercube!)
+        // every round moves both pebbles one bit-flip each, so the parity
+        // of d(a) + d(b) is invariant (the global laziness coin holds both
+        // pebbles together). A pair starting at odd Hamming distance can
+        // therefore NEVER collide, and D(G×G) is reducible — Lemma 11's
+        // stationary analysis applies per closed class. The collision
+        // bound still holds trivially (probability 0).
+        let g = hypercube::hypercube(3);
+        let tc = TensorChain::new(&g, true);
+        // 0 -> 7 has Hamming distance 3 (odd).
+        let p = tc.collision_probability(0, 7, 500);
+        assert_eq!(p, 0.0, "odd-parity pair must never collide, got {p}");
+        // Even-parity pairs do collide.
+        let p_even = tc.collision_probability(0, 3, 500);
+        assert!(p_even > 0.0);
+    }
+
+    #[test]
+    fn joint_occupancy_sums_to_collision_probability() {
+        let g = classic::cycle(5).unwrap();
+        let tc = TensorChain::new(&g, true);
+        let total: f64 = (0..5u32).map(|v| tc.joint_occupancy(1, 3, v, 40)).sum();
+        let coll = tc.collision_probability(1, 3, 40);
+        assert!((total - coll).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Epidemic spread: the cobra walk as an idealized SIS process.
+//!
+//! The paper's introduction motivates cobra walks as "an idealized process
+//! within the Susceptible-Infected-Susceptible model: in each time step,
+//! an infected agent infects k random neighbors and recovers, but can be
+//! infected again". This example runs that process on a synthetic human
+//! contact network (a random geometric graph — people interact with
+//! spatially nearby people) and reports epidemiological quantities:
+//!
+//! * time until every individual has been exposed at least once (the
+//!   cover time!),
+//! * the prevalence curve (currently-infected count per day),
+//! * the effect of the contact rate `k` (1 contact/day vs 2 vs 3).
+//!
+//! ```sh
+//! cargo run --release --example epidemic_sis
+//! ```
+
+use cobra_repro::graph::generators::geometric::{random_geometric, supercritical_radius};
+use cobra_repro::graph::metrics::largest_component;
+use cobra_repro::walks::{CobraWalk, Process};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Synthetic contact network: 2000 people placed in a unit square,
+    // contact possible within the supercritical radius.
+    let n = 2000;
+    let (raw, _points) = random_geometric(n, supercritical_radius(n), &mut rng)
+        .expect("valid radius");
+    let (g, _) = largest_component(&raw);
+    println!(
+        "contact network: {} people, {} contact pairs, average {:.1} contacts/person",
+        g.num_vertices(),
+        g.num_edges(),
+        2.0 * g.num_edges() as f64 / g.num_vertices() as f64
+    );
+    println!();
+
+    for contacts_per_day in [1u32, 2, 3] {
+        let process = CobraWalk::new(contacts_per_day);
+        let mut state = process.spawn(&g, 0);
+        let mut exposed = vec![false; g.num_vertices()];
+        exposed[0] = true;
+        let mut exposed_count = 1usize;
+        let mut day = 0usize;
+        let mut prevalence_samples = Vec::new();
+        let max_days = 20_000_000;
+        while exposed_count < g.num_vertices() && day < max_days {
+            state.step(&g, &mut rng);
+            day += 1;
+            for &v in state.occupied() {
+                if !exposed[v as usize] {
+                    exposed[v as usize] = true;
+                    exposed_count += 1;
+                }
+            }
+            if day.is_power_of_two() {
+                prevalence_samples.push((day, state.occupied().len(), exposed_count));
+            }
+        }
+        println!("k = {contacts_per_day} infectious contact(s) per day:");
+        if exposed_count == g.num_vertices() {
+            println!("  everyone exposed after {day} days");
+        } else {
+            println!("  NOT fully exposed after {day} days ({exposed_count} reached)");
+        }
+        println!("  day | currently infected | ever exposed");
+        for (d, infected, ever) in prevalence_samples.iter().take(12) {
+            println!("  {d:>5} | {infected:>18} | {ever:>12}");
+        }
+        println!();
+    }
+
+    println!(
+        "note: k = 1 is a plain random walk — the infection dies down to a single\n\
+         lineage and takes enormously long to reach everyone. A single extra\n\
+         contact per day (k = 2) collapses the exposure time: this is the paper's\n\
+         branching-coalescing effect."
+    );
+}
