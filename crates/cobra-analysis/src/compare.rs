@@ -37,7 +37,11 @@ pub fn ratio_flatness(xs: &[f64], ys: &[f64], fs: &[f64]) -> RatioReport {
     let fit = linear_fit(&lx, &lr);
     let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
     let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
-    RatioReport { ratios, log_slope: fit.slope, spread: max / min }
+    RatioReport {
+        ratios,
+        log_slope: fit.slope,
+        spread: max / min,
+    }
 }
 
 /// Whether the ratio report is consistent with `y = O(f)`: the fitted
@@ -82,7 +86,7 @@ mod tests {
     #[test]
     fn loose_bound_has_negative_slope() {
         let xs: Vec<f64> = (1..=10).map(|i| (i * 100) as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| x).collect(); // T(n) = n
+        let ys: Vec<f64> = xs.to_vec(); // T(n) = n
         let fs: Vec<f64> = xs.iter().map(|&x| x * x).collect(); // f(n) = n²
         let rep = ratio_flatness(&xs, &ys, &fs);
         assert!(rep.log_slope < -0.9);

@@ -36,8 +36,17 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> FitResult {
     assert!(sxx > 0.0, "x values are all identical");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    FitResult { intercept, slope, r_squared, n }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    FitResult {
+        intercept,
+        slope,
+        r_squared,
+        n,
+    }
 }
 
 /// Log–log power-law fit `y ≈ c·x^α`: returns a [`FitResult`] where

@@ -14,11 +14,11 @@ fn bench_cover_per_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("cover_cobra_small");
     group.sample_size(20);
     let cases: Vec<(Family, usize)> = vec![
-        (Family::Grid { d: 2 }, 16),       // E1 territory
-        (Family::Hypercube, 8),            // E3
+        (Family::Grid { d: 2 }, 16),           // E1 territory
+        (Family::Hypercube, 8),                // E3
         (Family::RandomRegular { d: 4 }, 256), // E4
-        (Family::Star, 256),               // E11
-        (Family::Lollipop, 64),            // E8
+        (Family::Star, 256),                   // E11
+        (Family::Lollipop, 64),                // E8
     ];
     for (fam, scale) in cases {
         let g = fam.build(scale, 42);
@@ -44,8 +44,11 @@ fn bench_cover_per_process(c: &mut Criterion) {
     let cobra = CobraWalk::standard();
     let walt = WaltProcess::standard(0.5);
     let rw = SimpleWalk::new();
-    let procs: Vec<(&str, &dyn cobra_core::Process)> =
-        vec![("cobra_k2", &cobra), ("walt_half", &walt), ("simple_rw", &rw)];
+    let procs: Vec<(&str, &dyn cobra_core::Process)> = vec![
+        ("cobra_k2", &cobra),
+        ("walt_half", &walt),
+        ("simple_rw", &rw),
+    ];
     for (name, proc_) in procs {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut rng = StdRng::seed_from_u64(9);

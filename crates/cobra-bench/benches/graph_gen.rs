@@ -42,5 +42,9 @@ fn bench_random_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_deterministic_generators, bench_random_generators);
+criterion_group!(
+    benches,
+    bench_deterministic_generators,
+    bench_random_generators
+);
 criterion_main!(benches);

@@ -34,9 +34,10 @@ fn bench_spectral_gap(c: &mut Criterion) {
     group.sample_size(10);
     for dim in [8u32, 10] {
         let g = hypercube::hypercube(dim);
-        group.bench_function(BenchmarkId::from_parameter(format!("hypercube_{dim}")), |b| {
-            b.iter(|| black_box(spectral_gap(&g, 20_000, 1e-10)))
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("hypercube_{dim}")),
+            |b| b.iter(|| black_box(spectral_gap(&g, 20_000, 1e-10))),
+        );
     }
     group.finish();
 }
@@ -57,5 +58,10 @@ fn bench_tensor_chain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matvec, bench_spectral_gap, bench_tensor_chain);
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_spectral_gap,
+    bench_tensor_chain
+);
 criterion_main!(benches);

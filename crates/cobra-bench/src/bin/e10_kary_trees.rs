@@ -82,7 +82,11 @@ fn main() {
         // the substance of the claim (n grows exponentially in diameter).
         let pass = rep_diamlog.log_slope.abs() < 0.15 || rep_diam.log_slope.abs() < 0.15;
         all_proportional &= pass || k >= 4; // conjectured cases reported, not enforced
-        let status = if k <= 3 { "Theorem-backed" } else { "conjecture" };
+        let status = if k <= 3 {
+            "Theorem-backed"
+        } else {
+            "conjecture"
+        };
         verdict(
             &format!("{status} (k={k}): cover ∝ diameter (up to log(diam) at these depths)"),
             pass,

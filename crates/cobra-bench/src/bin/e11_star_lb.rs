@@ -68,7 +68,10 @@ fn main() {
 
     let (shape_c, slope_c) = classify_growth(&t_cobra.scales(), &t_cobra.means());
     let (shape_p, _) = classify_growth(&t_push.scales(), &t_push.means());
-    println!("cobra growth shape on star: {} (residual {slope_c:+.3})", shape_c.name());
+    println!(
+        "cobra growth shape on star: {} (residual {slope_c:+.3})",
+        shape_c.name()
+    );
     println!("push gossip growth shape on star: {}", shape_p.name());
 
     let nlogn: Vec<f64> = t_cobra.scales().iter().map(|&n| n * n.ln()).collect();
@@ -86,7 +89,11 @@ fn main() {
     verdict(
         "Ω(n log n) star lower bound: cobra cover grows ≳ n log n",
         matches!(shape_c, GrowthShape::NLogN | GrowthShape::Linear) && rep_c.log_slope > -0.10,
-        &format!("shape {}, ratio slope {:+.3}", shape_c.name(), rep_c.log_slope),
+        &format!(
+            "shape {}, ratio slope {:+.3}",
+            shape_c.name(),
+            rep_c.log_slope
+        ),
     );
     verdict(
         "…and ≲ n log n (the conjectured general upper bound holds here)",
@@ -104,6 +111,9 @@ fn main() {
     verdict(
         "cobra and push differ only by a constant factor on the star",
         (0.2..5.0).contains(&c_over_p),
-        &format!("cobra/push = {c_over_p:.2} at n = {}", t_cobra.rows[last].scale),
+        &format!(
+            "cobra/push = {c_over_p:.2} at n = {}",
+            t_cobra.rows[last].scale
+        ),
     );
 }

@@ -16,7 +16,11 @@ use cobra_sim::runner::{run_cover_trials, TrialPlan};
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    banner("E13", "ablation: Walt laziness, coalescence threshold, and pebble fraction δ", &cfg);
+    banner(
+        "E13",
+        "ablation: Walt laziness, coalescence threshold, and pebble fraction δ",
+        &cfg,
+    );
 
     let trials = cfg.scale(40, 150);
     let cases: Vec<(Family, usize)> = vec![
@@ -47,13 +51,19 @@ fn main() {
 
         // Laziness.
         let lazy = measure(&WaltProcess::standard(0.5), (c * 100) as u64);
-        let eager = measure(&WaltProcess::standard(0.5).lazy(false), (c * 100 + 1) as u64);
+        let eager = measure(
+            &WaltProcess::standard(0.5).lazy(false),
+            (c * 100 + 1) as u64,
+        );
         let ratio = lazy / eager;
         println!("laziness: lazy {lazy:.1} vs eager {eager:.1} → ratio {ratio:.2} (expect ≈ 2)");
         lazy_ratio_ok &= (1.6..=2.4).contains(&ratio);
 
         // Threshold 3 (paper) vs 2.
-        let thr3 = measure(&WaltProcess::standard(0.5).lazy(false), (c * 100 + 2) as u64);
+        let thr3 = measure(
+            &WaltProcess::standard(0.5).lazy(false),
+            (c * 100 + 2) as u64,
+        );
         let thr2 = measure(
             &WaltProcess::standard(0.5).lazy(false).threshold(2),
             (c * 100 + 3) as u64,

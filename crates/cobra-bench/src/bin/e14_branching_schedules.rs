@@ -27,8 +27,14 @@ fn main() {
         BranchingSchedule::Fixed(2),
         BranchingSchedule::Alternating { even: 1, odd: 3 },
         BranchingSchedule::Alternating { even: 3, odd: 1 },
-        BranchingSchedule::Bernoulli { base: 1, extra_prob: 1.0 }, // degenerate = fixed 2
-        BranchingSchedule::Bernoulli { base: 1, extra_prob: 0.5 }, // mean 1.5
+        BranchingSchedule::Bernoulli {
+            base: 1,
+            extra_prob: 1.0,
+        }, // degenerate = fixed 2
+        BranchingSchedule::Bernoulli {
+            base: 1,
+            extra_prob: 0.5,
+        }, // mean 1.5
     ];
 
     let cases: Vec<(Family, usize)> = vec![
@@ -57,7 +63,13 @@ fn main() {
                 start,
                 &TrialPlan::new(trials, budget, cfg.seed.wrapping_add((c * 10 + i) as u64)),
             );
-            assert_eq!(out.censored, 0, "{} {}: raise budget", fam.name(), process.name());
+            assert_eq!(
+                out.censored,
+                0,
+                "{} {}: raise budget",
+                fam.name(),
+                process.name()
+            );
             means.push(out.summary.mean());
             println!(
                 "| {} | {} | {:.1} | {:.1} |",
@@ -71,7 +83,10 @@ fn main() {
         let equal_mean = &means[0..4];
         let max = equal_mean.iter().cloned().fold(f64::MIN, f64::max);
         let min = equal_mean.iter().cloned().fold(f64::MAX, f64::min);
-        println!("equal-mean schedules spread: {:.2}× (max {max:.1} / min {min:.1})\n", max / min);
+        println!(
+            "equal-mean schedules spread: {:.2}× (max {max:.1} / min {min:.1})\n",
+            max / min
+        );
         if matches!(fam, Family::Star) {
             // Finding: the star is 2-periodic (hub occupied on even
             // rounds), so alternation phase matters enormously — means[1]
@@ -91,11 +106,24 @@ fn main() {
     // *hub* branching.
     let g = Family::Star.build(cfg.scale(256, 1024), 0);
     let start = 0u32;
-    let heavy = ScheduledCobraWalk::new(BranchingSchedule::DegreeScaled { divisor: 64, max_k: 4 });
+    let heavy = ScheduledCobraWalk::new(BranchingSchedule::DegreeScaled {
+        divisor: 64,
+        max_k: 4,
+    });
     let fixed = ScheduledCobraWalk::new(BranchingSchedule::Fixed(2));
     let budget = 3000 * g.num_vertices() + 500_000;
-    let out_h = run_cover_trials(&g, &heavy, start, &TrialPlan::new(trials, budget, cfg.seed ^ 1));
-    let out_f = run_cover_trials(&g, &fixed, start, &TrialPlan::new(trials, budget, cfg.seed ^ 2));
+    let out_h = run_cover_trials(
+        &g,
+        &heavy,
+        start,
+        &TrialPlan::new(trials, budget, cfg.seed ^ 1),
+    );
+    let out_f = run_cover_trials(
+        &g,
+        &fixed,
+        start,
+        &TrialPlan::new(trials, budget, cfg.seed ^ 2),
+    );
     println!(
         "star, vertex-dependent branching: degree-scaled (hub k=4, leaves k=1) covers in {:.1} \
          vs fixed-2 {:.1}",

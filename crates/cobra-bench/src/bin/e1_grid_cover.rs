@@ -30,7 +30,11 @@ fn sweep_cover(
         let start = family.adversarial_start(&g);
         let plan = TrialPlan::new(trials, budget_for(scale), cfg.seed.wrapping_add(i as u64));
         let out = run_cover_trials(&g, process, start, &plan);
-        table.push(SweepRow::from_summary(scale as f64, &out.summary, out.censored));
+        table.push(SweepRow::from_summary(
+            scale as f64,
+            &out.summary,
+            out.censored,
+        ));
     }
     table
 }
@@ -48,7 +52,10 @@ fn main() {
     let trials = cfg.scale(20, 60);
 
     // --- d = 1 ---------------------------------------------------------
-    let sides1 = cfg.scale(vec![64usize, 96, 128, 192, 256], vec![256, 384, 512, 768, 1024, 1536]);
+    let sides1 = cfg.scale(
+        vec![64usize, 96, 128, 192, 256],
+        vec![256, 384, 512, 768, 1024, 1536],
+    );
     let t_cobra1 = sweep_cover(
         &cfg,
         Family::Grid { d: 1 },

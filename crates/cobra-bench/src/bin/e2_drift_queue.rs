@@ -24,7 +24,11 @@ use rand::SeedableRng;
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    banner("E2", "drift/queueing chain of §3: Lemma 4 drift, Lemma 5 O(d²n) emptying, Lemma 6 excursions", &cfg);
+    banner(
+        "E2",
+        "drift/queueing chain of §3: Lemma 4 drift, Lemma 5 O(d²n) emptying, Lemma 6 excursions",
+        &cfg,
+    );
 
     let seq = SeedSequence::new(cfg.seed);
 
@@ -47,7 +51,11 @@ fn main() {
         lemma4_ok &= (p_change - exp_change).abs() < 0.01 && (p_dec - exp_dec).abs() < 0.01;
     }
     println!();
-    verdict("Lemma 4: one-step drift matches the closed form", lemma4_ok, "tolerance ±0.01");
+    verdict(
+        "Lemma 4: one-step drift matches the closed form",
+        lemma4_ok,
+        "tolerance ±0.01",
+    );
     println!();
 
     // ---- Lemma 5: emptying time is linear in n -------------------------
@@ -83,7 +91,11 @@ fn main() {
         );
         println!();
     }
-    verdict("Lemma 5 overall: O(d²n) emptying across d ∈ {2,3,4}", all_linear, "all fits ≈ linear");
+    verdict(
+        "Lemma 5 overall: O(d²n) emptying across d ∈ {2,3,4}",
+        all_linear,
+        "all fits ≈ linear",
+    );
     println!();
 
     // ---- Lemma 6: post-zero excursions stay below c·ln n ---------------

@@ -52,8 +52,14 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
 
     let sweeps: Vec<(Family, Vec<usize>)> = vec![
-        (Family::Hypercube, cfg.scale(vec![4, 6, 8, 10], vec![6, 8, 10, 12, 14])),
-        (Family::Torus { d: 2 }, cfg.scale(vec![6, 10, 16, 24], vec![8, 16, 24, 32, 48])),
+        (
+            Family::Hypercube,
+            cfg.scale(vec![4, 6, 8, 10], vec![6, 8, 10, 12, 14]),
+        ),
+        (
+            Family::Torus { d: 2 },
+            cfg.scale(vec![6, 10, 16, 24], vec![8, 16, 24, 32, 48]),
+        ),
         (
             Family::RingOfCliques { size: 6 },
             cfg.scale(vec![4, 8, 12, 16], vec![8, 16, 24, 32, 48]),
@@ -89,7 +95,11 @@ fn main() {
             });
             table.push(row);
         }
-        emit_table(&cfg, &table, &format!("e3_{}", fam.name().replace(['(', ')', '=', ','], "_")));
+        emit_table(
+            &cfg,
+            &table,
+            &format!("e3_{}", fam.name().replace(['(', ')', '=', ','], "_")),
+        );
     }
 
     // Cross-family ratio test against the bound parameter Φ⁻²·log²n.
@@ -127,7 +137,10 @@ fn main() {
     verdict(
         "Theorem 8: cover = O(Φ⁻²·log²n) shape across families",
         is_bounded_by(&report, 0.15),
-        &format!("ratio log-slope {:+.3}, spread {:.2}×", report.log_slope, report.spread),
+        &format!(
+            "ratio log-slope {:+.3}, spread {:.2}×",
+            report.log_slope, report.spread
+        ),
     );
 
     // w.h.p. check: p95 should track the mean within a small factor.

@@ -18,7 +18,11 @@ use cobra_sim::sweep::{SweepRow, SweepTable};
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    banner("E4", "Corollary 9: 2-cobra covers d-regular expanders in O(log²n)", &cfg);
+    banner(
+        "E4",
+        "Corollary 9: 2-cobra covers d-regular expanders in O(log²n)",
+        &cfg,
+    );
 
     let cobra = CobraWalk::standard();
     let trials = cfg.scale(20, 60);
@@ -47,7 +51,10 @@ fn main() {
         let xs = table.scales();
         let ys = table.means();
         let (shape, slope) = classify_growth(&xs, &ys);
-        println!("growth classification (d={d}): {} (residual slope {slope:+.3})", shape.name());
+        println!(
+            "growth classification (d={d}): {} (residual slope {slope:+.3})",
+            shape.name()
+        );
         let log2: Vec<f64> = xs.iter().map(|&x| x.ln() * x.ln()).collect();
         let report = ratio_flatness(&xs, &ys, &log2);
         let pass = matches!(shape, GrowthShape::Log | GrowthShape::LogSquared)
@@ -67,7 +74,10 @@ fn main() {
 
     // Contrast: simple walk on the d=3 expander is Θ(n log n).
     let fam = Family::RandomRegular { d: 3 };
-    let rw_ns = cfg.scale(vec![64usize, 128, 256, 512], vec![128, 256, 512, 1024, 2048]);
+    let rw_ns = cfg.scale(
+        vec![64usize, 128, 256, 512],
+        vec![128, 256, 512, 1024, 2048],
+    );
     let mut rw_table = SweepTable::new("simple-rw on random-regular(d=3)", "n");
     for (i, &n) in rw_ns.iter().enumerate() {
         let g = fam.build(n, cfg.seed ^ ((i as u64) << 4));

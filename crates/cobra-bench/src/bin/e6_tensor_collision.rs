@@ -25,7 +25,11 @@ use rand::SeedableRng;
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    banner("E6", "Lemma 11: D(G×G) stationarity, mixing, and the pair-collision bound", &cfg);
+    banner(
+        "E6",
+        "Lemma 11: D(G×G) stationarity, mixing, and the pair-collision bound",
+        &cfg,
+    );
 
     let seq = SeedSequence::new(cfg.seed);
     let cases: Vec<(Family, usize)> = vec![

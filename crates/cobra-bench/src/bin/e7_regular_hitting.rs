@@ -85,7 +85,11 @@ fn main() {
         );
     }
     println!();
-    verdict("Lemma 14: cobra hitting ≤ best inverse-degree-biased hitting", dominance_ok, "2σ slack");
+    verdict(
+        "Lemma 14: cobra hitting ≤ best inverse-degree-biased hitting",
+        dominance_ok,
+        "2σ slack",
+    );
     println!();
 
     // ---- (2) Theorem 15 on cycles (δ = 2): H = O(n^{3/2}) --------------
@@ -103,7 +107,11 @@ fn main() {
             target,
             &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(7000 + i as u64)),
         );
-        t_cobra.push(SweepRow::from_summary(n as f64, &out_c.summary, out_c.censored));
+        t_cobra.push(SweepRow::from_summary(
+            n as f64,
+            &out_c.summary,
+            out_c.censored,
+        ));
         let out_r = run_hitting_trials(
             &g,
             &SimpleWalk::new(),
@@ -111,14 +119,24 @@ fn main() {
             target,
             &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(8000 + i as u64)),
         );
-        t_rw.push(SweepRow::from_summary(n as f64, &out_r.summary, out_r.censored));
+        t_rw.push(SweepRow::from_summary(
+            n as f64,
+            &out_r.summary,
+            out_r.censored,
+        ));
     }
     emit_table(&cfg, &t_cobra, "e7_cobra_cycle");
     emit_table(&cfg, &t_rw, "e7_rw_cycle");
     let fit_c = power_law_fit(&t_cobra.scales(), &t_cobra.means());
     let fit_r = power_law_fit(&t_rw.scales(), &t_rw.means());
-    println!("cobra hitting exponent on cycle: {:.3} (Theorem 15 upper bound: 2−1/δ = 1.5)", fit_c.slope);
-    println!("simple-rw hitting exponent on cycle: {:.3} (classical: 2)", fit_r.slope);
+    println!(
+        "cobra hitting exponent on cycle: {:.3} (Theorem 15 upper bound: 2−1/δ = 1.5)",
+        fit_c.slope
+    );
+    println!(
+        "simple-rw hitting exponent on cycle: {:.3} (classical: 2)",
+        fit_r.slope
+    );
     // Theorem 15 is an upper bound; the true cycle behaviour is even
     // better (the active interval's boundary drifts outward at constant
     // speed, so ≈ n¹). Pass = measured exponent within the bound and the

@@ -82,7 +82,8 @@ fn main() {
     let local_exp = (t_rw.means()[last] / t_rw.means()[last - 1]).ln()
         / (t_rw.scales()[last] / t_rw.scales()[last - 1]).ln();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE8);
-    let (c_lo, c_hi) = bootstrap_exponent_ci(&t_cobra.scales(), &t_cobra.means(), 600, 0.95, &mut rng);
+    let (c_lo, c_hi) =
+        bootstrap_exponent_ci(&t_cobra.scales(), &t_cobra.means(), 600, 0.95, &mut rng);
     let (r_lo, r_hi) = bootstrap_exponent_ci(&rw_xs, &rw_ys, 600, 0.95, &mut rng);
     println!("simple-rw local exponent between the two largest n: {local_exp:.3}");
 
@@ -99,7 +100,10 @@ fn main() {
     verdict(
         "baseline: simple-rw cover on lollipop approaches ~ n³ (upper-half exponent > 2.5)",
         fit_r.slope > 2.5,
-        &format!("upper-half exponent {:.3}, local exponent {local_exp:.3}", fit_r.slope),
+        &format!(
+            "upper-half exponent {:.3}, local exponent {local_exp:.3}",
+            fit_r.slope
+        ),
     );
     verdict(
         "Theorem 20: cobra exponent < 11/4 = 2.75",

@@ -20,18 +20,27 @@ use rand::SeedableRng;
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    banner("E9", "Theorem 1: cover time ≤ O(h_max · log n) for cobra walks", &cfg);
+    banner(
+        "E9",
+        "Theorem 1: cover time ≤ O(h_max · log n) for cobra walks",
+        &cfg,
+    );
 
     let seq = SeedSequence::new(cfg.seed);
 
     // ---- Estimator sanity: simple-walk h_max vs exact ------------------
     let tiny = Family::Cycle.build(12, 0);
     let mut rng = StdRng::seed_from_u64(seq.child(1).seed_at(0));
-    let est = estimate_hmax(&tiny, &SimpleWalk::new(), 144, cfg.scale(100, 400), 200_000, &mut rng);
-    let exact = exact_hmax(&tiny);
-    println!(
-        "estimator sanity (C12, simple walk): estimated h_max {est:.1} vs exact {exact:.1}\n"
+    let est = estimate_hmax(
+        &tiny,
+        &SimpleWalk::new(),
+        144,
+        cfg.scale(100, 400),
+        200_000,
+        &mut rng,
     );
+    let exact = exact_hmax(&tiny);
+    println!("estimator sanity (C12, simple walk): estimated h_max {est:.1} vs exact {exact:.1}\n");
     verdict(
         "h_max estimator agrees with exact linear solve (within 15%)",
         (est - exact).abs() / exact < 0.15,

@@ -16,7 +16,11 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { full: false, seed: 0xC0B7A, csv_dir: None }
+        ExpConfig {
+            full: false,
+            seed: 0xC0B7A,
+            csv_dir: None,
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Graph-family abstraction for sweeps: one enum, one `build` call, with
 //! conductance metadata where the family has a closed form.
 
-use cobra_graph::generators::{classic, grid, gnp, hypercube, random_regular, trees};
+use cobra_graph::generators::{classic, gnp, grid, hypercube, random_regular, trees};
 use cobra_graph::{Graph, Vertex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,7 +81,11 @@ impl Family {
             Family::RandomRegular { d } => {
                 let mut rng = StdRng::seed_from_u64(seed);
                 // Bump odd n*d to the next feasible size.
-                let n = if (scale * d) % 2 == 1 { scale + 1 } else { scale };
+                let n = if (scale * d) % 2 == 1 {
+                    scale + 1
+                } else {
+                    scale
+                };
                 random_regular::random_regular(n, *d, &mut rng).expect("regular generation")
             }
             Family::Cycle => classic::cycle(scale).expect("cycle"),

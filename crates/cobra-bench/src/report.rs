@@ -57,7 +57,11 @@ pub fn banner(id: &str, claim: &str, cfg: &ExpConfig) {
     println!("{id}: {claim}");
     println!(
         "mode = {}, master seed = {}",
-        if cfg.full { "FULL (paper scale)" } else { "CI (reduced scale)" },
+        if cfg.full {
+            "FULL (paper scale)"
+        } else {
+            "CI (reduced scale)"
+        },
         cfg.seed
     );
     println!("==============================================================\n");
@@ -95,7 +99,10 @@ mod tests {
     #[test]
     fn emit_table_with_csv_dir_writes() {
         let dir = std::env::temp_dir().join("cobra_report_test");
-        let cfg = ExpConfig { csv_dir: Some(dir.clone()), ..ExpConfig::default() };
+        let cfg = ExpConfig {
+            csv_dir: Some(dir.clone()),
+            ..ExpConfig::default()
+        };
         emit_table(&cfg, &linear_table(), "series");
         assert!(dir.join("series.csv").exists());
         std::fs::remove_dir_all(&dir).ok();

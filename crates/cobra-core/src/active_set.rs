@@ -18,7 +18,11 @@ pub struct DenseSet {
 impl DenseSet {
     /// Create an empty set over the id space `0..n`.
     pub fn new(n: usize) -> Self {
-        DenseSet { stamps: vec![0; n], epoch: 1, len: 0 }
+        DenseSet {
+            stamps: vec![0; n],
+            epoch: 1,
+            len: 0,
+        }
     }
 
     /// Capacity of the id space.

@@ -45,7 +45,10 @@ pub struct TowardTarget {
 impl TowardTarget {
     /// Precompute BFS distances to `target`.
     pub fn new(g: &Graph, target: Vertex) -> Self {
-        TowardTarget { target, dist: metrics::bfs_distances(g, target) }
+        TowardTarget {
+            target,
+            dist: metrics::bfs_distances(g, target),
+        }
     }
 
     /// The target vertex.
@@ -106,13 +109,19 @@ impl BiasedWalk {
             (0.0..=1.0).contains(&epsilon),
             "bias ε must be in [0, 1], got {epsilon}"
         );
-        BiasedWalk { schedule: BiasSchedule::Constant(epsilon), controller }
+        BiasedWalk {
+            schedule: BiasSchedule::Constant(epsilon),
+            controller,
+        }
     }
 
     /// The paper's inverse-degree-biased walk with the given target: bias
     /// `1/d(v)` at `v ≠ target`, uniform at `target`.
     pub fn inverse_degree(target: Vertex, controller: Arc<dyn Controller>) -> Self {
-        BiasedWalk { schedule: BiasSchedule::InverseDegree { target }, controller }
+        BiasedWalk {
+            schedule: BiasSchedule::InverseDegree { target },
+            controller,
+        }
     }
 
     /// Convenience: inverse-degree-biased walk steered along shortest
@@ -127,7 +136,10 @@ impl Process for BiasedWalk {
         match self.schedule {
             BiasSchedule::Constant(e) => format!("biased(ε={e},{})", self.controller.name()),
             BiasSchedule::InverseDegree { target } => {
-                format!("inv-degree-biased(target={target},{})", self.controller.name())
+                format!(
+                    "inv-degree-biased(target={target},{})",
+                    self.controller.name()
+                )
             }
         }
     }
@@ -211,7 +223,9 @@ pub fn sigma_hat(g: &Graph, target: Vertex) -> Vec<f64> {
     }
     impl Ord for Key {
         fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&o.0).unwrap_or(std::cmp::Ordering::Equal)
+            self.0
+                .partial_cmp(&o.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
     let mut heap = BinaryHeap::new();
@@ -287,8 +301,8 @@ impl MetropolisWalk {
             let mut m: Vec<f64> = ns
                 .iter()
                 .map(|&y| {
-                    let ratio = (pi_raw[y as usize] * dx)
-                        / (pi_raw[x as usize] * g.degree(y) as f64);
+                    let ratio =
+                        (pi_raw[y as usize] * dx) / (pi_raw[x as usize] * g.degree(y) as f64);
                     ratio.min(1.0) / dx
                 })
                 .collect();
@@ -344,7 +358,10 @@ impl Process for MetropolisWalk {
             self.cdf.len(),
             "MetropolisWalk was built for a different graph"
         );
-        Box::new(MetropolisState { cdf: self.cdf.clone(), pos: [start] })
+        Box::new(MetropolisState {
+            cdf: self.cdf.clone(),
+            pos: [start],
+        })
     }
 }
 
@@ -507,10 +524,7 @@ mod tests {
             let floor = (1.0 - 1.0 / dx) / dx;
             for i in 0..g.degree(x) {
                 let p = mw.transition_prob(x, i);
-                assert!(
-                    p >= floor - 1e-9,
-                    "P[{x}][{i}] = {p} below floor {floor}"
-                );
+                assert!(p >= floor - 1e-9, "P[{x}][{i}] = {p} below floor {floor}");
             }
         }
     }
@@ -521,7 +535,10 @@ mod tests {
         let mw = MetropolisWalk::new(&g, 0);
         let pi = mw.stationary();
         let max = pi.iter().cloned().fold(f64::MIN, f64::max);
-        assert!((pi[0] - max).abs() < 1e-12, "target has max stationary mass");
+        assert!(
+            (pi[0] - max).abs() < 1e-12,
+            "target has max stationary mass"
+        );
         let sum: f64 = pi.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
@@ -562,8 +579,12 @@ mod tests {
     fn names() {
         let g = classic::path(4).unwrap();
         let ctl: Arc<dyn Controller> = Arc::new(TowardTarget::new(&g, 0));
-        assert!(BiasedWalk::constant(0.3, Arc::clone(&ctl)).name().contains("ε=0.3"));
-        assert!(BiasedWalk::inverse_degree(0, ctl).name().contains("inv-degree"));
+        assert!(BiasedWalk::constant(0.3, Arc::clone(&ctl))
+            .name()
+            .contains("ε=0.3"));
+        assert!(BiasedWalk::inverse_degree(0, ctl)
+            .name()
+            .contains("inv-degree"));
         assert!(MetropolisWalk::new(&g, 2).name().contains("target=2"));
     }
 }

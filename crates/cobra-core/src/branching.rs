@@ -25,7 +25,10 @@ impl BranchingWalk {
     pub fn new(branching_factor: u32, max_population: usize) -> Self {
         assert!(branching_factor >= 1, "branching factor must be >= 1");
         assert!(max_population >= 1, "population cap must be >= 1");
-        BranchingWalk { branching_factor, max_population }
+        BranchingWalk {
+            branching_factor,
+            max_population,
+        }
     }
 
     /// The branching factor `k`.

@@ -169,7 +169,11 @@ mod tests {
         for _ in 0..60 {
             st.step(&g, &mut rng);
             let cur = st.occupied().len();
-            assert!(cur <= 2 * prev, "|S_{{t+1}}| = {cur} > 2|S_t| = {}", 2 * prev);
+            assert!(
+                cur <= 2 * prev,
+                "|S_{{t+1}}| = {cur} > 2|S_t| = {}",
+                2 * prev
+            );
             assert!(cur >= 1);
             prev = cur;
         }

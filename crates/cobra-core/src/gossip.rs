@@ -86,7 +86,13 @@ impl GossipState {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
         let mut informed_at = vec![NEVER; g.num_vertices()];
         informed_at[start as usize] = 0;
-        GossipState { mode, informed_at, informed_list: vec![start], fresh_from: 0, round: 0 }
+        GossipState {
+            mode,
+            informed_at,
+            informed_list: vec![start],
+            fresh_from: 0,
+            round: 0,
+        }
     }
 
     /// Number of informed vertices.

@@ -68,7 +68,6 @@ pub mod walt;
 
 pub use active_set::DenseSet;
 pub use biased::{BiasedWalk, Controller, MetropolisWalk, TowardTarget};
-pub use queueing::DriftChain;
 pub use branching::BranchingWalk;
 pub use coalescing::CoalescingWalks;
 pub use cobra::CobraWalk;
@@ -76,6 +75,7 @@ pub use gossip::{PullGossip, PushGossip, PushPullGossip};
 pub use measure::{CoverDriver, CoverResult, HittingDriver, HittingResult};
 pub use parallel_walks::ParallelWalks;
 pub use process::{Process, ProcessState};
+pub use queueing::DriftChain;
 pub use schedule::{BranchingSchedule, ScheduledCobraWalk};
 pub use simple::SimpleWalk;
 pub use sis::SisProcess;

@@ -36,7 +36,10 @@ pub struct CoverDriver<'g> {
 impl<'g> CoverDriver<'g> {
     /// Driver for graph `g`.
     pub fn new(g: &'g Graph) -> Self {
-        CoverDriver { g, record_trajectory: false }
+        CoverDriver {
+            g,
+            record_trajectory: false,
+        }
     }
 
     /// Also record the active-set size after every round (costs one usize
@@ -88,7 +91,12 @@ impl<'g> CoverDriver<'g> {
                 tr.push(state.support_size());
             }
             if covered_count == n {
-                return Some(CoverResult { steps: t, covered: n, completed: true, trajectory });
+                return Some(CoverResult {
+                    steps: t,
+                    covered: n,
+                    completed: true,
+                    trajectory,
+                });
             }
         }
         Some(CoverResult {
@@ -133,15 +141,24 @@ impl<'g> HittingDriver<'g> {
     ) -> HittingResult {
         let mut state = process.spawn(self.g, start);
         if state.occupied().contains(&target) {
-            return HittingResult { steps: 0, hit: true };
+            return HittingResult {
+                steps: 0,
+                hit: true,
+            };
         }
         for t in 1..=max_steps {
             state.step(self.g, rng);
             if state.occupied().contains(&target) {
-                return HittingResult { steps: t, hit: true };
+                return HittingResult {
+                    steps: t,
+                    hit: true,
+                };
             }
         }
-        HittingResult { steps: max_steps, hit: false }
+        HittingResult {
+            steps: max_steps,
+            hit: false,
+        }
     }
 }
 
@@ -240,7 +257,9 @@ mod tests {
     fn cover_on_empty_graph_is_none() {
         let g = cobra_graph::Graph::empty(0);
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(CoverDriver::new(&g).run(&SimpleWalk::new(), 0, 10, &mut rng).is_none());
+        assert!(CoverDriver::new(&g)
+            .run(&SimpleWalk::new(), 0, 10, &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -253,7 +272,7 @@ mod tests {
             .unwrap();
         let tr = res.trajectory.unwrap();
         assert_eq!(tr.len(), res.steps);
-        assert!(tr.iter().all(|&s| s >= 1 && s <= 16));
+        assert!(tr.iter().all(|&s| (1..=16).contains(&s)));
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl Process for ParallelWalks {
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
-        Box::new(ParallelState { positions: vec![start; self.walkers] })
+        Box::new(ParallelState {
+            positions: vec![start; self.walkers],
+        })
     }
 }
 

@@ -48,7 +48,10 @@ impl DriftChain {
     /// Start with the given per-dimension distances, capped at `cap`.
     pub fn new(z: Vec<u32>, cap: u32) -> Self {
         assert!(!z.is_empty(), "need at least one dimension");
-        assert!(z.iter().all(|&zi| zi <= cap), "initial distances exceed cap");
+        assert!(
+            z.iter().all(|&zi| zi <= cap),
+            "initial distances exceed cap"
+        );
         DriftChain { z, cap }
     }
 
@@ -79,7 +82,10 @@ impl DriftChain {
     }
 
     fn sample_move(&self, rng: &mut dyn Rng) -> Move {
-        Move { dim: sample_index(self.dims(), rng), away: coin(rng) }
+        Move {
+            dim: sample_index(self.dims(), rng),
+            away: coin(rng),
+        }
     }
 
     /// The distance after applying `m` to the current state (the state is
@@ -198,7 +204,11 @@ pub fn one_step_stats(
         }
     }
     let p_change = changed as f64 / trials as f64;
-    let p_dec = if changed == 0 { 0.0 } else { decreased as f64 / changed as f64 };
+    let p_dec = if changed == 0 {
+        0.0
+    } else {
+        decreased as f64 / changed as f64
+    };
     (p_change, p_dec)
 }
 
@@ -267,7 +277,7 @@ mod tests {
         let d = 2;
         let n = 40u32;
         let mut rng = StdRng::seed_from_u64(4);
-        let budget = 64 * (d * d) as usize * n as usize;
+        let budget = 64 * (d * d) * n as usize;
         let mut successes = 0;
         let trials = 20;
         for _ in 0..trials {
@@ -318,7 +328,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let (_, p_dec) = one_step_stats(&state, 0, 100_000, &mut rng);
         let floor = 0.5 + 1.0 / (8.0 * d as f64 - 4.0);
-        assert!(p_dec >= floor - 0.02, "P[dec|change] = {p_dec} below {floor}");
+        assert!(
+            p_dec >= floor - 0.02,
+            "P[dec|change] = {p_dec} below {floor}"
+        );
     }
 
     #[test]

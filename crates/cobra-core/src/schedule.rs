@@ -51,7 +51,7 @@ impl BranchingSchedule {
         match *self {
             BranchingSchedule::Fixed(k) => k,
             BranchingSchedule::Alternating { even, odd } => {
-                if t % 2 == 0 {
+                if t.is_multiple_of(2) {
                     even
                 } else {
                     odd
@@ -219,10 +219,15 @@ mod tests {
     #[test]
     fn bernoulli_schedule_hits_its_mean() {
         let g = classic::complete(4).unwrap();
-        let s = BranchingSchedule::Bernoulli { base: 1, extra_prob: 0.37 };
+        let s = BranchingSchedule::Bernoulli {
+            base: 1,
+            extra_prob: 0.37,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let trials = 50_000;
-        let total: u64 = (0..trials).map(|t| s.branches(t, &g, 0, &mut rng) as u64).sum();
+        let total: u64 = (0..trials)
+            .map(|t| s.branches(t, &g, 0, &mut rng) as u64)
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 1.37).abs() < 0.01, "mean {mean}");
         assert_eq!(s.mean_branching(3), 1.37);
@@ -231,7 +236,10 @@ mod tests {
     #[test]
     fn degree_scaled_branches_more_at_hubs() {
         let g = classic::star(10).unwrap();
-        let s = BranchingSchedule::DegreeScaled { divisor: 3, max_k: 4 };
+        let s = BranchingSchedule::DegreeScaled {
+            divisor: 3,
+            max_k: 4,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         // Hub degree 9: 1 + 9/3 = 4.
         assert_eq!(s.branches(0, &g, 0, &mut rng), 4);
@@ -264,15 +272,21 @@ mod tests {
             ScheduledCobraWalk::new(BranchingSchedule::Fixed(2)).name(),
             "cobra[fixed(2)]"
         );
-        assert!(BranchingSchedule::Bernoulli { base: 1, extra_prob: 0.5 }
-            .name()
-            .contains("bern"));
+        assert!(BranchingSchedule::Bernoulli {
+            base: 1,
+            extra_prob: 0.5
+        }
+        .name()
+        .contains("bern"));
     }
 
     #[test]
     #[should_panic(expected = "extra_prob")]
     fn rejects_bad_probability() {
-        ScheduledCobraWalk::new(BranchingSchedule::Bernoulli { base: 1, extra_prob: 1.5 });
+        ScheduledCobraWalk::new(BranchingSchedule::Bernoulli {
+            base: 1,
+            extra_prob: 1.5,
+        });
     }
 
     #[test]

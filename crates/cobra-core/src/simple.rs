@@ -26,10 +26,7 @@ impl SimpleWalk {
 
     /// A lazy walk holding with probability `laziness ∈ [0, 1)`.
     pub fn lazy(laziness: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&laziness),
-            "laziness must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&laziness), "laziness must be in [0, 1)");
         SimpleWalk { laziness }
     }
 
@@ -56,7 +53,10 @@ impl Process for SimpleWalk {
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
-        Box::new(SimpleState { laziness: self.laziness, pos: [start] })
+        Box::new(SimpleState {
+            laziness: self.laziness,
+            pos: [start],
+        })
     }
 }
 

@@ -34,7 +34,10 @@ impl SisProcess {
             (0.0..=1.0).contains(&transmit_prob),
             "transmission probability in [0, 1]"
         );
-        SisProcess { contacts, transmit_prob }
+        SisProcess {
+            contacts,
+            transmit_prob,
+        }
     }
 
     /// Basic reproduction number proxy `R₀ = contacts · transmit_prob`
@@ -116,10 +119,16 @@ pub fn probe_extinction(
     for t in 1..=horizon {
         st.step(g, rng);
         if st.occupied().is_empty() {
-            return ExtinctionProbe { rounds: t, died_out: true };
+            return ExtinctionProbe {
+                rounds: t,
+                died_out: true,
+            };
         }
     }
-    ExtinctionProbe { rounds: horizon, died_out: false }
+    ExtinctionProbe {
+        rounds: horizon,
+        died_out: false,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +168,10 @@ mod tests {
                 extinctions += 1;
             }
         }
-        assert!(extinctions >= 48, "only {extinctions}/50 subcritical runs died");
+        assert!(
+            extinctions >= 48,
+            "only {extinctions}/50 subcritical runs died"
+        );
     }
 
     #[test]
@@ -175,7 +187,10 @@ mod tests {
                 survivals += 1;
             }
         }
-        assert!(survivals >= 30, "only {survivals}/50 supercritical runs survived");
+        assert!(
+            survivals >= 30,
+            "only {survivals}/50 supercritical runs survived"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Trajectory {
     pub fn rounds_to_coverage_fraction(&self, n: usize, fraction: f64) -> Option<usize> {
         assert!((0.0..=1.0).contains(&fraction));
         let target = (fraction * n as f64).ceil() as usize;
-        self.covered.iter().position(|&c| c >= target).map(|i| i + 1)
+        self.covered
+            .iter()
+            .position(|&c| c >= target)
+            .map(|i| i + 1)
     }
 
     /// Per-round multiplicative growth rates of the active set during the
@@ -139,7 +142,9 @@ mod tests {
         let g = classic::complete(128).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let tr = record_trajectory(&g, &CobraWalk::standard(), 0, 100_000, &mut rng);
-        let growth = tr.rounds_to_active_fraction(128, 0.25).expect("reaches n/4");
+        let growth = tr
+            .rounds_to_active_fraction(128, 0.25)
+            .expect("reaches n/4");
         // Doubling from 1 to 32 takes ≥ 5 rounds; should be well under 30.
         assert!((5..30).contains(&growth), "growth phase length {growth}");
         let half_cover = tr.rounds_to_coverage_fraction(128, 0.5).unwrap();
@@ -160,7 +165,11 @@ mod tests {
 
     #[test]
     fn fraction_queries_validate() {
-        let tr = Trajectory { active: vec![1, 2, 4], covered: vec![1, 3, 7], completed_at: None };
+        let tr = Trajectory {
+            active: vec![1, 2, 4],
+            covered: vec![1, 3, 7],
+            completed_at: None,
+        };
         assert_eq!(tr.rounds_to_active_fraction(8, 0.5), Some(3));
         assert_eq!(tr.rounds_to_active_fraction(8, 1.0), None);
         assert_eq!(tr.rounds_to_coverage_fraction(8, 0.375), Some(2));

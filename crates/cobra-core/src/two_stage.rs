@@ -36,7 +36,11 @@ impl TwoStageProcess {
     pub fn new(branching_factor: u32, delta: f64) -> Self {
         assert!(branching_factor >= 1, "branching factor must be >= 1");
         assert!(delta > 0.0 && delta <= 0.5, "paper requires 0 < δ ≤ 1/2");
-        TwoStageProcess { branching_factor, delta, lazy_walt: true }
+        TwoStageProcess {
+            branching_factor,
+            delta,
+            lazy_walt: true,
+        }
     }
 
     /// Toggle stage-2 laziness (paper default: lazy).
@@ -170,7 +174,11 @@ mod tests {
         assert!(frozen >= 16, "swap at δn = 16 pebbles, got {frozen}");
         for _ in 0..50 {
             st.step(&g, &mut rng);
-            assert_eq!(st.occupied().len(), frozen, "Walt stage must conserve pebbles");
+            assert_eq!(
+                st.occupied().len(),
+                frozen,
+                "Walt stage must conserve pebbles"
+            );
         }
     }
 

@@ -46,13 +46,21 @@ impl WaltProcess {
     /// The paper's configuration: `⌈δ·n⌉` pebbles, lazy, threshold 3.
     pub fn standard(delta: f64) -> Self {
         assert!(delta > 0.0 && delta <= 0.5, "paper requires 0 < δ ≤ 1/2");
-        WaltProcess { population: PebblePopulation::Fraction(delta), lazy: true, threshold: 3 }
+        WaltProcess {
+            population: PebblePopulation::Fraction(delta),
+            lazy: true,
+            threshold: 3,
+        }
     }
 
     /// A Walt process with an explicit pebble count.
     pub fn with_count(count: usize) -> Self {
         assert!(count >= 1, "need at least one pebble");
-        WaltProcess { population: PebblePopulation::Count(count), lazy: true, threshold: 3 }
+        WaltProcess {
+            population: PebblePopulation::Count(count),
+            lazy: true,
+            threshold: 3,
+        }
     }
 
     /// Disable (or re-enable) the global laziness coin.
@@ -85,7 +93,12 @@ impl WaltProcess {
         for &v in &positions {
             assert!((v as usize) < g.num_vertices(), "pebble position in range");
         }
-        Box::new(WaltState::new(positions, g.num_vertices(), self.lazy, self.threshold))
+        Box::new(WaltState::new(
+            positions,
+            g.num_vertices(),
+            self.lazy,
+            self.threshold,
+        ))
     }
 }
 
@@ -98,14 +111,23 @@ impl Process for WaltProcess {
         format!(
             "walt({pop}{}{})",
             if self.lazy { ",lazy" } else { "" },
-            if self.threshold != 3 { format!(",thr={}", self.threshold) } else { String::new() }
+            if self.threshold != 3 {
+                format!(",thr={}", self.threshold)
+            } else {
+                String::new()
+            }
         )
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
         let count = self.population_for(g.num_vertices());
-        Box::new(WaltState::new(vec![start; count], g.num_vertices(), self.lazy, self.threshold))
+        Box::new(WaltState::new(
+            vec![start; count],
+            g.num_vertices(),
+            self.lazy,
+            self.threshold,
+        ))
     }
 }
 
@@ -123,7 +145,13 @@ struct WaltState {
 impl WaltState {
     fn new(positions: Vec<Vertex>, n: usize, lazy: bool, threshold: usize) -> Self {
         let p = positions.len();
-        WaltState { positions, lazy, threshold, counts: vec![0; n + 1], grouped: vec![0; p] }
+        WaltState {
+            positions,
+            lazy,
+            threshold,
+            counts: vec![0; n + 1],
+            grouped: vec![0; p],
+        }
     }
 }
 

@@ -40,12 +40,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Create a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, half_edges: Vec::new(), strict: false }
+        GraphBuilder {
+            n,
+            half_edges: Vec::new(),
+            strict: false,
+        }
     }
 
     /// Create a builder that pre-allocates for `m` expected edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, half_edges: Vec::with_capacity(2 * m), strict: false }
+        GraphBuilder {
+            n,
+            half_edges: Vec::with_capacity(2 * m),
+            strict: false,
+        }
     }
 
     /// Make [`GraphBuilder::build`] fail with [`GraphError::DuplicateEdge`]
@@ -70,10 +78,16 @@ impl GraphBuilder {
     /// Errors if either endpoint is out of range or `u == v`.
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<()> {
         if (u as usize) >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u as u64, num_vertices: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u as u64,
+                num_vertices: self.n,
+            });
         }
         if (v as usize) >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v as u64, num_vertices: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v as u64,
+                num_vertices: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -97,7 +111,9 @@ impl GraphBuilder {
     /// CSR arrays.
     pub fn build(self) -> Result<Graph> {
         if self.n > u32::MAX as usize {
-            return Err(GraphError::TooManyVertices { requested: self.n as u64 });
+            return Err(GraphError::TooManyVertices {
+                requested: self.n as u64,
+            });
         }
         let mut half = self.half_edges;
         half.sort_unstable();
@@ -105,7 +121,10 @@ impl GraphBuilder {
         // Detect duplicates before dedup if strict.
         if self.strict {
             if let Some(w) = half.windows(2).find(|w| w[0] == w[1]) {
-                return Err(GraphError::DuplicateEdge { u: w[0].0, v: w[0].1 });
+                return Err(GraphError::DuplicateEdge {
+                    u: w[0].0,
+                    v: w[0].1,
+                });
             }
         }
         half.dedup();
@@ -150,15 +169,30 @@ mod tests {
     fn rejects_out_of_range() {
         let mut b = GraphBuilder::new(2);
         let err = b.add_edge(0, 2).unwrap_err();
-        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 2, num_vertices: 2 });
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 2,
+                num_vertices: 2
+            }
+        );
         let err = b.add_edge(7, 0).unwrap_err();
-        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 7, num_vertices: 2 });
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 7,
+                num_vertices: 2
+            }
+        );
     }
 
     #[test]
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(2);
-        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { vertex: 1 });
+        assert_eq!(
+            b.add_edge(1, 1).unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 }
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl Graph {
         }
         let n = offsets.len() - 1;
         if n > u32::MAX as usize {
-            return Err(GraphError::TooManyVertices { requested: n as u64 });
+            return Err(GraphError::TooManyVertices {
+                requested: n as u64,
+            });
         }
         for &u in &neighbors {
             if (u as usize) >= n {
@@ -66,7 +68,10 @@ impl Graph {
 
     /// The empty graph on `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of vertices `n`.
@@ -128,7 +133,9 @@ impl Graph {
 
     /// Iterator over the neighbors of `v` (by value).
     pub fn neighbor_iter(&self, v: Vertex) -> NeighborIter<'_> {
-        NeighborIter { inner: self.neighbors(v).iter() }
+        NeighborIter {
+            inner: self.neighbors(v).iter(),
+        }
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).

@@ -52,7 +52,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex id {vertex} out of range for graph with {num_vertices} vertices"
             ),
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("5"));
 
@@ -95,13 +101,20 @@ mod tests {
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };
         assert!(e.to_string().contains("duplicate"));
 
-        let e = GraphError::InvalidParameter { reason: "n*d must be even".into() };
+        let e = GraphError::InvalidParameter {
+            reason: "n*d must be even".into(),
+        };
         assert!(e.to_string().contains("n*d must be even"));
 
-        let e = GraphError::TooManyVertices { requested: u64::MAX };
+        let e = GraphError::TooManyVertices {
+            requested: u64::MAX,
+        };
         assert!(e.to_string().contains("u32"));
 
-        let e = GraphError::GenerationFailed { what: "3-regular graph".into(), attempts: 7 };
+        let e = GraphError::GenerationFailed {
+            what: "3-regular graph".into(),
+            attempts: 7,
+        };
         assert!(e.to_string().contains("7"));
     }
 

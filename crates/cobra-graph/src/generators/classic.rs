@@ -22,7 +22,9 @@ use crate::error::{GraphError, Result};
 /// The path on `n` vertices (`n - 1` edges).
 pub fn path(n: usize) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "path needs n >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "path needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for v in 1..n {
@@ -34,7 +36,9 @@ pub fn path(n: usize) -> Result<Graph> {
 /// The cycle on `n ≥ 3` vertices.
 pub fn cycle(n: usize) -> Result<Graph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter { reason: "cycle needs n >= 3".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "cycle needs n >= 3".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n);
     for v in 0..n {
@@ -46,7 +50,9 @@ pub fn cycle(n: usize) -> Result<Graph> {
 /// The complete graph on `n ≥ 2` vertices.
 pub fn complete(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter { reason: "complete graph needs n >= 2".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "complete graph needs n >= 2".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
     for u in 0..n {
@@ -64,7 +70,9 @@ pub fn complete(n: usize) -> Result<Graph> {
 /// covering all leaves take Ω(n log n).
 pub fn star(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter { reason: "star needs n >= 2".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "star needs n >= 2".into(),
+        });
     }
     let mut b = GraphBuilder::with_capacity(n, n - 1);
     for v in 1..n {
@@ -84,7 +92,9 @@ pub fn star(n: usize) -> Result<Graph> {
 /// off vertex 0.
 pub fn lollipop(n: usize) -> Result<Graph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter { reason: "lollipop needs n >= 3".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "lollipop needs n >= 3".into(),
+        });
     }
     let clique = n.div_ceil(2);
     let mut b = GraphBuilder::with_capacity(n, clique * (clique - 1) / 2 + n - clique);
@@ -110,7 +120,9 @@ pub fn lollipop(n: usize) -> Result<Graph> {
 /// small, stressing the `Φ⁻²` factor of Theorem 8.
 pub fn barbell(clique: usize, bridge: usize) -> Result<Graph> {
     if clique < 2 {
-        return Err(GraphError::InvalidParameter { reason: "barbell needs clique >= 2".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "barbell needs clique >= 2".into(),
+        });
     }
     let n = 2 * clique + bridge;
     let mut b = GraphBuilder::with_capacity(n, clique * (clique - 1) + bridge + 1);
@@ -143,10 +155,14 @@ pub fn barbell(clique: usize, bridge: usize) -> Result<Graph> {
 /// family for Theorem 8 (E3).
 pub fn ring_of_cliques(cliques: usize, size: usize) -> Result<Graph> {
     if cliques < 3 {
-        return Err(GraphError::InvalidParameter { reason: "ring needs >= 3 cliques".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "ring needs >= 3 cliques".into(),
+        });
     }
     if size < 3 {
-        return Err(GraphError::InvalidParameter { reason: "cliques need size >= 3".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "cliques need size >= 3".into(),
+        });
     }
     let n = cliques * size;
     let mut b = GraphBuilder::with_capacity(n, cliques * (size * (size - 1) / 2 + 1));

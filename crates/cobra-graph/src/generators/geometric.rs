@@ -24,13 +24,15 @@ pub fn random_geometric<R: Rng>(
     radius: f64,
     rng: &mut R,
 ) -> Result<(Graph, Vec<(f64, f64)>)> {
-    if !(radius > 0.0) || radius > 2.0_f64.sqrt() {
+    if radius.is_nan() || radius <= 0.0 || radius > 2.0_f64.sqrt() {
         return Err(GraphError::InvalidParameter {
             reason: format!("radius {radius} must be in (0, sqrt(2)]"),
         });
     }
     if n > u32::MAX as usize {
-        return Err(GraphError::TooManyVertices { requested: n as u64 });
+        return Err(GraphError::TooManyVertices {
+            requested: n as u64,
+        });
     }
     let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
 
@@ -135,7 +137,10 @@ mod tests {
         let (g1, p1) = random_geometric(50, 0.2, &mut StdRng::seed_from_u64(5)).unwrap();
         let (g2, p2) = random_geometric(50, 0.2, &mut StdRng::seed_from_u64(5)).unwrap();
         assert_eq!(p1, p2);
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
         });
     }
     if n > u32::MAX as usize {
-        return Err(GraphError::TooManyVertices { requested: n as u64 });
+        return Err(GraphError::TooManyVertices {
+            requested: n as u64,
+        });
     }
     let mut b = GraphBuilder::new(n);
     if p <= 0.0 || n < 2 {
@@ -147,6 +149,9 @@ mod tests {
     fn deterministic_under_seed() {
         let g1 = gnp(100, 0.05, &mut StdRng::seed_from_u64(3)).unwrap();
         let g2 = gnp(100, 0.05, &mut StdRng::seed_from_u64(3)).unwrap();
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
     }
 }

@@ -109,8 +109,8 @@ pub fn try_grid(extents: &[usize]) -> Result<Graph> {
     let mut b = GraphBuilder::with_capacity(n, n * d);
     let mut coords = vec![0usize; d];
     for v in 0..n {
-        for i in 0..d {
-            if coords[i] + 1 < shape.points_in_dim(i) {
+        for (i, &c) in coords.iter().enumerate() {
+            if c + 1 < shape.points_in_dim(i) {
                 let u = v + shape.strides[i];
                 b.add_edge(v as Vertex, u as Vertex)?;
             }
@@ -156,10 +156,10 @@ pub fn try_torus(extents: &[usize]) -> Result<Graph> {
     let mut b = GraphBuilder::with_capacity(n, n * d);
     let mut coords = vec![0usize; d];
     for v in 0..n {
-        for i in 0..d {
+        for (i, &c) in coords.iter().enumerate() {
             let pts = shape.points_in_dim(i);
-            let next_c = (coords[i] + 1) % pts;
-            let u = v - coords[i] * shape.strides[i] + next_c * shape.strides[i];
+            let next_c = (c + 1) % pts;
+            let u = v - c * shape.strides[i] + next_c * shape.strides[i];
             b.add_edge(v as Vertex, u as Vertex)?;
         }
         for i in (0..d).rev() {
@@ -274,11 +274,7 @@ mod tests {
             let cv = s.coords_of(v);
             for u in g.neighbor_iter(v) {
                 let cu = s.coords_of(u);
-                let diffs: Vec<_> = cv
-                    .iter()
-                    .zip(&cu)
-                    .filter(|(a, b)| a != b)
-                    .collect();
+                let diffs: Vec<_> = cv.iter().zip(&cu).filter(|(a, b)| a != b).collect();
                 assert_eq!(diffs.len(), 1);
                 let (a, b) = diffs[0];
                 assert_eq!(a.abs_diff(*b), 1);

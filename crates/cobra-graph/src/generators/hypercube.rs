@@ -30,7 +30,9 @@ pub fn try_hypercube(dim: u32) -> Result<Graph> {
         });
     }
     if dim >= 31 {
-        return Err(GraphError::TooManyVertices { requested: 1u64 << dim });
+        return Err(GraphError::TooManyVertices {
+            requested: 1u64 << dim,
+        });
     }
     let n = 1usize << dim;
     let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2);
@@ -102,11 +104,11 @@ mod tests {
         let g = hypercube(dim);
         let n = g.num_vertices();
         let in_s = |v: u32| (v as usize) < n / 2;
-        let boundary = g
-            .edges()
-            .filter(|&(u, v)| in_s(u) != in_s(v))
-            .count();
-        let vol: usize = (0..n as u32).filter(|&v| in_s(v)).map(|v| g.degree(v)).sum();
+        let boundary = g.edges().filter(|&(u, v)| in_s(u) != in_s(v)).count();
+        let vol: usize = (0..n as u32)
+            .filter(|&v| in_s(v))
+            .map(|v| g.degree(v))
+            .sum();
         let phi = boundary as f64 / vol as f64;
         assert!((phi - hypercube_conductance(dim)).abs() < 1e-12);
     }

@@ -45,9 +45,11 @@ pub fn powerlaw_weights(n: usize, beta: f64, avg_degree: f64) -> Result<Vec<f64>
 pub fn chung_lu_from_weights<R: Rng>(weights: &[f64], rng: &mut R) -> Result<Graph> {
     let n = weights.len();
     if n > u32::MAX as usize {
-        return Err(GraphError::TooManyVertices { requested: n as u64 });
+        return Err(GraphError::TooManyVertices {
+            requested: n as u64,
+        });
     }
-    if weights.iter().any(|&w| !(w >= 0.0)) {
+    if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
         return Err(GraphError::InvalidParameter {
             reason: "weights must be non-negative and finite".into(),
         });
@@ -170,7 +172,10 @@ mod tests {
     fn deterministic_under_seed() {
         let g1 = chung_lu(300, 2.5, 6.0, &mut StdRng::seed_from_u64(5)).unwrap();
         let g2 = chung_lu(300, 2.5, 6.0, &mut StdRng::seed_from_u64(5)).unwrap();
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -37,14 +37,16 @@ const MAX_RESTARTS: usize = 200;
 /// ```
 pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Result<Graph> {
     if d == 0 {
-        return Err(GraphError::InvalidParameter { reason: "degree d must be >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "degree d must be >= 1".into(),
+        });
     }
     if d >= n {
         return Err(GraphError::InvalidParameter {
             reason: format!("degree d = {d} must be < n = {n}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("n*d = {} must be even", n * d),
         });

@@ -40,7 +40,9 @@ pub fn kary_tree_size(k: usize, depth: u32) -> u64 {
 /// ```
 pub fn kary_tree(k: usize, depth: u32) -> Result<Graph> {
     if k == 0 {
-        return Err(GraphError::InvalidParameter { reason: "k-ary tree needs k >= 1".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "k-ary tree needs k >= 1".into(),
+        });
     }
     let n64 = kary_tree_size(k, depth);
     if n64 > u32::MAX as u64 {

@@ -45,7 +45,9 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
         Err(e) => Some(Err(e)),
     });
 
-    let parse_err = |what: &str| GraphError::InvalidParameter { reason: what.to_string() };
+    let parse_err = |what: &str| GraphError::InvalidParameter {
+        reason: what.to_string(),
+    };
 
     let header = lines
         .next()
@@ -84,7 +86,9 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
         count += 1;
     }
     if count != m {
-        return Err(parse_err(&format!("header declared {m} edges, found {count}")));
+        return Err(parse_err(&format!(
+            "header declared {m} edges, found {count}"
+        )));
     }
     b.build()
 }
@@ -105,7 +109,10 @@ mod tests {
         let text = to_edge_list_string(&g);
         let back = from_edge_list_str(&text).unwrap();
         assert_eq!(g.num_vertices(), back.num_vertices());
-        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            back.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@
 pub mod builder;
 mod csr;
 mod error;
-pub mod io;
 pub mod generators;
+pub mod io;
 pub mod metrics;
 
 pub use builder::GraphBuilder;

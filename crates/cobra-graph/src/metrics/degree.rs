@@ -23,7 +23,13 @@ impl DegreeStats {
     pub fn of(g: &Graph) -> Self {
         let n = g.num_vertices();
         if n == 0 {
-            return DegreeStats { min: 0, max: 0, mean: 0.0, variance: 0.0, regular: Some(0) };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                variance: 0.0,
+                regular: Some(0),
+            };
         }
         let mut min = usize::MAX;
         let mut max = 0usize;

@@ -24,7 +24,11 @@ impl StopRule {
         assert!(min_trials >= 2, "need >= 2 trials for a stderr");
         assert!(max_trials >= min_trials, "max >= min");
         assert!(rel_precision > 0.0, "precision must be positive");
-        StopRule { min_trials, max_trials, rel_precision }
+        StopRule {
+            min_trials,
+            max_trials,
+            rel_precision,
+        }
     }
 
     /// Whether the summary satisfies the precision target.
@@ -43,10 +47,7 @@ impl StopRule {
 
 /// Run `trial(i)` adaptively until the rule is satisfied or `max_trials`
 /// is hit; returns the summary and whether the precision target was met.
-pub fn run_until_precise<F: FnMut(usize) -> f64>(
-    rule: &StopRule,
-    mut trial: F,
-) -> (Summary, bool) {
+pub fn run_until_precise<F: FnMut(usize) -> f64>(rule: &StopRule, mut trial: F) -> (Summary, bool) {
     let mut summary = Summary::new();
     for i in 0..rule.max_trials {
         summary.push(trial(i));
@@ -92,7 +93,10 @@ mod tests {
         };
         let loose = run(0.05);
         let tight = run(0.005);
-        assert!(tight > loose, "tight {tight} should need more than loose {loose}");
+        assert!(
+            tight > loose,
+            "tight {tight} should need more than loose {loose}"
+        );
     }
 
     #[test]

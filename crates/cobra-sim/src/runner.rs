@@ -28,7 +28,11 @@ impl TrialPlan {
     pub fn new(trials: usize, max_steps: usize, master_seed: u64) -> Self {
         assert!(trials >= 1, "need at least one trial");
         assert!(max_steps >= 1, "need a positive step budget");
-        TrialPlan { trials, max_steps, master_seed }
+        TrialPlan {
+            trials,
+            max_steps,
+            master_seed,
+        }
     }
 }
 
@@ -141,8 +145,18 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let g = classic::cycle(20).unwrap();
-        let a = run_cover_trials(&g, &CobraWalk::standard(), 0, &TrialPlan::new(25, 100_000, 1));
-        let b = run_cover_trials(&g, &CobraWalk::standard(), 0, &TrialPlan::new(25, 100_000, 2));
+        let a = run_cover_trials(
+            &g,
+            &CobraWalk::standard(),
+            0,
+            &TrialPlan::new(25, 100_000, 1),
+        );
+        let b = run_cover_trials(
+            &g,
+            &CobraWalk::standard(),
+            0,
+            &TrialPlan::new(25, 100_000, 2),
+        );
         assert_ne!(a.summary.mean(), b.summary.mean());
     }
 

@@ -64,7 +64,11 @@ pub struct SweepTable {
 impl SweepTable {
     /// An empty table.
     pub fn new(label: impl Into<String>, scale_name: impl Into<String>) -> Self {
-        SweepTable { label: label.into(), scale_name: scale_name.into(), rows: Vec::new() }
+        SweepTable {
+            label: label.into(),
+            scale_name: scale_name.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.

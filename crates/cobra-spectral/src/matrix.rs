@@ -44,12 +44,24 @@ impl CsrMatrix {
             }
             offsets.push(cols.len());
         }
-        CsrMatrix { n_rows, n_cols, offsets, cols, vals }
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            offsets,
+            cols,
+            vals,
+        }
     }
 
     /// The zero matrix of the given shape.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        CsrMatrix { n_rows, n_cols, offsets: vec![0; n_rows + 1], cols: vec![], vals: vec![] }
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            offsets: vec![0; n_rows + 1],
+            cols: vec![],
+            vals: vec![],
+        }
     }
 
     /// Number of rows.
@@ -95,7 +107,9 @@ impl CsrMatrix {
                 .sum()
         };
         if self.nnz() >= PARALLEL_THRESHOLD {
-            y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = row_dot(i));
+            y.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, yi)| *yi = row_dot(i));
         } else {
             for (i, yi) in y.iter_mut().enumerate() {
                 *yi = row_dot(i);
@@ -109,8 +123,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.n_rows, "x length");
         assert_eq!(y.len(), self.n_cols, "y length");
         y.fill(0.0);
-        for i in 0..self.n_rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -207,10 +220,7 @@ mod tests {
 
     #[test]
     fn row_sums_and_stochasticity() {
-        let m = CsrMatrix::from_rows(
-            2,
-            vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 1.0)]],
-        );
+        let m = CsrMatrix::from_rows(2, vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 1.0)]]);
         assert_eq!(m.row_sums(), vec![1.0, 1.0]);
         assert!(m.is_row_stochastic(1e-12));
         let bad = CsrMatrix::from_rows(2, vec![vec![(0, 0.7)], vec![(1, 1.0)]]);

@@ -37,12 +37,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// starting from `x0` (pass a deterministic non-degenerate start; e.g. an
 /// indicator plus a ramp). Converges to the eigenvalue largest in
 /// **absolute value**.
-pub fn power_iteration(
-    a: &CsrMatrix,
-    x0: &[f64],
-    max_iters: usize,
-    tol: f64,
-) -> EigenResult {
+pub fn power_iteration(a: &CsrMatrix, x0: &[f64], max_iters: usize, tol: f64) -> EigenResult {
     assert_eq!(a.n_rows(), a.n_cols(), "square matrix");
     assert_eq!(x0.len(), a.n_rows());
     let mut x = x0.to_vec();
@@ -54,17 +49,32 @@ pub fn power_iteration(
         let new_lambda = dot(&x, &y); // Rayleigh quotient (‖x‖ = 1)
         let ny = norm(&y);
         if ny == 0.0 {
-            return EigenResult { value: 0.0, vector: x, iterations: it, converged: true };
+            return EigenResult {
+                value: 0.0,
+                vector: x,
+                iterations: it,
+                converged: true,
+            };
         }
         for (xi, yi) in x.iter_mut().zip(&y) {
             *xi = yi / ny;
         }
         if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
-            return EigenResult { value: new_lambda, vector: x, iterations: it, converged: true };
+            return EigenResult {
+                value: new_lambda,
+                vector: x,
+                iterations: it,
+                converged: true,
+            };
         }
         lambda = new_lambda;
     }
-    EigenResult { value: lambda, vector: x, iterations: max_iters, converged: false }
+    EigenResult {
+        value: lambda,
+        vector: x,
+        iterations: max_iters,
+        converged: false,
+    }
 }
 
 /// Second-largest eigenvalue (in absolute value) of a symmetric matrix,
@@ -101,17 +111,32 @@ pub fn second_eigenvalue(
         let new_lambda = dot(&x, &y);
         let ny = norm(&y);
         if ny == 0.0 {
-            return EigenResult { value: 0.0, vector: x, iterations: it, converged: true };
+            return EigenResult {
+                value: 0.0,
+                vector: x,
+                iterations: it,
+                converged: true,
+            };
         }
         for (xi, yi) in x.iter_mut().zip(&y) {
             *xi = yi / ny;
         }
         if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
-            return EigenResult { value: new_lambda, vector: x, iterations: it, converged: true };
+            return EigenResult {
+                value: new_lambda,
+                vector: x,
+                iterations: it,
+                converged: true,
+            };
         }
         lambda = new_lambda;
     }
-    EigenResult { value: lambda, vector: x, iterations: max_iters, converged: false }
+    EigenResult {
+        value: lambda,
+        vector: x,
+        iterations: max_iters,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +189,11 @@ mod tests {
         let top = power_iteration(&a, &[1.0, 1.1, 0.9, 1.0], 2000, 1e-13);
         assert!((top.value - 3.0).abs() < 1e-7);
         let second = second_eigenvalue(&a, &top.vector, 2000, 1e-13);
-        assert!((second.value.abs() - 1.0).abs() < 1e-5, "second {}", second.value);
+        assert!(
+            (second.value.abs() - 1.0).abs() < 1e-5,
+            "second {}",
+            second.value
+        );
     }
 
     #[test]

@@ -279,7 +279,10 @@ mod tests {
         let bound = 2.0 / (n * n + n) + 1.0 / n.powi(4);
         for v in 0..6u32 {
             let p = tc.joint_occupancy(0, 3, v, 300);
-            assert!(p <= bound, "joint occupancy {p} exceeds Lemma 11 bound {bound}");
+            assert!(
+                p <= bound,
+                "joint occupancy {p} exceeds Lemma 11 bound {bound}"
+            );
         }
     }
 

@@ -28,8 +28,8 @@ fn main() {
     // Synthetic contact network: 2000 people placed in a unit square,
     // contact possible within the supercritical radius.
     let n = 2000;
-    let (raw, _points) = random_geometric(n, supercritical_radius(n), &mut rng)
-        .expect("valid radius");
+    let (raw, _points) =
+        random_geometric(n, supercritical_radius(n), &mut rng).expect("valid radius");
     let (g, _) = largest_component(&raw);
     println!(
         "contact network: {} people, {} contact pairs, average {:.1} contacts/person",

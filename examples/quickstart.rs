@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--tiny` for a seconds-scale run on miniature graphs (used by the
+//! `examples_compile` smoke test so the example can never rot silently).
 
 use cobra_repro::graph::generators::{classic, random_regular};
 use cobra_repro::sim::runner::{run_cover_trials, TrialPlan};
@@ -12,9 +15,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    // 1. Build a graph: a random 3-regular expander on 512 vertices.
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let (n_reg, n_lolly, trials) = if tiny { (64, 24, 5) } else { (512, 128, 50) };
+
+    // 1. Build a graph: a random 3-regular expander.
     let mut rng = StdRng::seed_from_u64(42);
-    let g = random_regular::random_regular(512, 3, &mut rng).expect("generation succeeds");
+    let g = random_regular::random_regular(n_reg, 3, &mut rng).expect("generation succeeds");
     println!(
         "graph: random 3-regular, n = {}, m = {}",
         g.num_vertices(),
@@ -40,11 +46,11 @@ fn main() {
     }
 
     // 3. Monte-Carlo comparison against the simple random walk.
-    let plan = TrialPlan::new(50, 10_000_000, 7);
+    let plan = TrialPlan::new(trials, 10_000_000, 7);
     let cobra_out = run_cover_trials(&g, &cobra, 0, &plan);
     let rw_out = run_cover_trials(&g, &SimpleWalk::new(), 0, &plan);
     println!(
-        "over 50 trials: cobra mean cover {:.0} rounds, simple walk {:.0} rounds ({:.0}x speedup)",
+        "over {trials} trials: cobra mean cover {:.0} rounds, simple walk {:.0} rounds ({:.0}x speedup)",
         cobra_out.summary.mean(),
         rw_out.summary.mean(),
         rw_out.summary.mean() / cobra_out.summary.mean()
@@ -52,12 +58,12 @@ fn main() {
 
     // 4. The same comparison on a graph that is *hard* for random walks:
     //    the lollipop (Theorem 20 territory).
-    let lolly = classic::lollipop(128).expect("valid parameters");
-    let plan = TrialPlan::new(20, 50_000_000, 11);
+    let lolly = classic::lollipop(n_lolly).expect("valid parameters");
+    let plan = TrialPlan::new(trials.min(20), 50_000_000, 11);
     let cobra_l = run_cover_trials(&lolly, &cobra, 1, &plan);
     let rw_l = run_cover_trials(&lolly, &SimpleWalk::new(), 1, &plan);
     println!(
-        "lollipop(128) from the clique: cobra {:.0} rounds vs simple walk {:.0} rounds ({:.0}x)",
+        "lollipop({n_lolly}) from the clique: cobra {:.0} rounds vs simple walk {:.0} rounds ({:.0}x)",
         cobra_l.summary.mean(),
         rw_l.summary.mean(),
         rw_l.summary.mean() / cobra_l.summary.mean()

@@ -66,7 +66,10 @@ fn run_protocol(
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
 
-    let (raw, trials) = (chung_lu(3000, 2.5, 8.0, &mut rng).expect("valid parameters"), 5);
+    let (raw, trials) = (
+        chung_lu(3000, 2.5, 8.0, &mut rng).expect("valid parameters"),
+        5,
+    );
     let (g, _) = largest_component(&raw);
     println!(
         "P2P overlay: Chung-Lu power-law graph, n = {}, m = {}, max degree {}",
@@ -98,10 +101,7 @@ fn main() {
         }
         let rounds = total_rounds as f64 / trials as f64;
         let msgs = total_msgs as f64 / trials as f64;
-        println!(
-            "| {name} | {rounds:.0} | {msgs:.0} | {:.1} |",
-            msgs / n
-        );
+        println!("| {name} | {rounds:.0} | {msgs:.0} | {:.1} |", msgs / n);
     }
     println!();
     println!(

@@ -13,8 +13,8 @@ use cobra_repro::sim::table::{render_csv, render_markdown};
 use cobra_repro::spectral::laplacian::spectral_gap;
 use cobra_repro::spectral::tensor::TensorChain;
 use cobra_repro::walks::{
-    BranchingWalk, CoalescingWalks, CobraWalk, CoverDriver, HittingDriver, ParallelWalks,
-    Process, PushGossip, SimpleWalk, WaltProcess,
+    BranchingWalk, CoalescingWalks, CobraWalk, CoverDriver, HittingDriver, ParallelWalks, Process,
+    PushGossip, SimpleWalk, WaltProcess,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,10 +32,18 @@ fn quickstart_workflow_through_umbrella_crate() {
             &TrialPlan::new(30, 100_000, dim as u64),
         );
         assert_eq!(out.censored, 0);
-        table.push(SweepRow::from_summary(g.num_vertices() as f64, &out.summary, 0));
+        table.push(SweepRow::from_summary(
+            g.num_vertices() as f64,
+            &out.summary,
+            0,
+        ));
     }
     let fit = power_law_fit(&table.scales(), &table.means());
-    assert!(fit.slope < 1.0, "polylog growth reads as tiny power: {}", fit.slope);
+    assert!(
+        fit.slope < 1.0,
+        "polylog growth reads as tiny power: {}",
+        fit.slope
+    );
     let md = render_markdown(&table);
     assert!(md.contains("cobra on hypercube"));
     let csv = render_csv(&table);

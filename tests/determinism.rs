@@ -61,5 +61,9 @@ fn walt_runs_reproduce() {
     let b = run_cover_trials(&g, &walt, 0, &TrialPlan::new(40, 1_000_000, 3));
     assert!((a.summary.mean() - b.summary.mean()).abs() < 1e-12);
     let c = run_cover_trials(&g, &walt, 0, &TrialPlan::new(40, 1_000_000, 4));
-    assert_ne!(a.summary.mean(), c.summary.mean(), "different seeds must differ");
+    assert_ne!(
+        a.summary.mean(),
+        c.summary.mean(),
+        "different seeds must differ"
+    );
 }

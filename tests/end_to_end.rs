@@ -1,5 +1,13 @@
 //! Cross-crate integration: Monte-Carlo walk measurements validated
 //! against the exact linear-algebra ground truth from `cobra-spectral`.
+//!
+//! Two tiers:
+//!
+//! * default — trial counts sized so the whole file runs in seconds and
+//!   the suite stays within the tier-1 time budget;
+//! * `#[ignore]`-gated — paper-scale trial counts with tolerances tight
+//!   enough to catch subtle RNG/dynamics bias. Run them with
+//!   `cargo test -- --ignored` (or `--include-ignored` for both tiers).
 
 use cobra_repro::graph::generators::classic;
 use cobra_repro::sim::runner::{run_cover_trials, run_hitting_trials, TrialPlan};
@@ -42,7 +50,13 @@ fn simulated_hitting_matches_exact_on_lollipop() {
     let target = (g.num_vertices() - 1) as u32; // path tip
     let exact = exact_hitting_times(&g, target);
     let start = 1u32; // clique interior
-    let out = run_hitting_trials(&g, &SimpleWalk::new(), start, target, &plan(3000, 10_000_000, 2));
+    let out = run_hitting_trials(
+        &g,
+        &SimpleWalk::new(),
+        start,
+        target,
+        &plan(3000, 10_000_000, 2),
+    );
     assert_eq!(out.censored, 0);
     let measured = out.summary.mean();
     let truth = exact[start as usize];
@@ -105,8 +119,58 @@ fn cobra_cover_on_complete_graph_is_logarithmic() {
     let out = run_cover_trials(&g, &CobraWalk::standard(), 0, &plan(60, 100_000, 4));
     assert_eq!(out.censored, 0);
     let mean = out.summary.mean();
-    assert!(mean >= 8.0, "cannot double 1 → 256 in < 8 rounds, got {mean}");
+    assert!(
+        mean >= 8.0,
+        "cannot double 1 → 256 in < 8 rounds, got {mean}"
+    );
     assert!(mean <= 60.0, "cover {mean} far above Θ(log n) expectation");
+}
+
+#[test]
+#[ignore = "high-trial Monte-Carlo tier; run with: cargo test -- --ignored"]
+fn high_trial_hitting_matches_exact_on_cycle_tightly() {
+    // Paper-scale statistics: 40k trials shrink the standard error enough
+    // to hold a 1.5% tolerance against the exact value H(8, 0) = 64.
+    let n = 16;
+    let g = classic::cycle(n).unwrap();
+    let exact = exact_hitting_times(&g, 0);
+    let out = run_hitting_trials(
+        &g,
+        &SimpleWalk::new(),
+        (n / 2) as u32,
+        0,
+        &plan(40_000, 1_000_000, 21),
+    );
+    assert_eq!(out.censored, 0);
+    let measured = out.summary.mean();
+    let truth = exact[n / 2];
+    assert!(
+        (measured - truth).abs() < 0.015 * truth,
+        "measured {measured} vs exact {truth}"
+    );
+}
+
+#[test]
+#[ignore = "high-trial Monte-Carlo tier; run with: cargo test -- --ignored"]
+fn high_trial_lollipop_hitting_tightly() {
+    let g = classic::lollipop(14).unwrap();
+    let target = (g.num_vertices() - 1) as u32;
+    let exact = exact_hitting_times(&g, target);
+    let start = 1u32;
+    let out = run_hitting_trials(
+        &g,
+        &SimpleWalk::new(),
+        start,
+        target,
+        &plan(30_000, 10_000_000, 22),
+    );
+    assert_eq!(out.censored, 0);
+    let measured = out.summary.mean();
+    let truth = exact[start as usize];
+    assert!(
+        (measured - truth).abs() < 0.03 * truth,
+        "measured {measured} vs exact {truth}"
+    );
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! Examples must keep working, not just compiling.
+//!
+//! `cargo test` already *builds* every file under `examples/` (so
+//! `grid_frontier`, `rumor_network`, and `epidemic_sis` cannot rot at the
+//! compile level), and the README-style doctest in `src/lib.rs` runs under
+//! the doctest harness. This suite closes the remaining gap: it *executes*
+//! `examples/quickstart.rs` on tiny graphs and checks its output, so the
+//! code a new user runs first is exercised end to end on every `cargo
+//! test -q`.
+
+use std::process::Command;
+
+/// Run `cargo run --example quickstart -- --tiny` using the same cargo
+/// that is running this test.
+fn run_quickstart_tiny() -> std::process::Output {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    Command::new(cargo)
+        .args(["run", "--example", "quickstart", "--", "--tiny"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo is invocable from tests")
+}
+
+#[test]
+fn quickstart_runs_on_tiny_graphs() {
+    let out = run_quickstart_tiny();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+    // The three stages of the example must all have reported.
+    assert!(
+        stdout.contains("graph: random 3-regular"),
+        "missing generation line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("covered all"),
+        "missing single-run cover line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("speedup"),
+        "missing Monte-Carlo comparison line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lollipop"),
+        "missing lollipop comparison line:\n{stdout}"
+    );
+}

@@ -19,11 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2..max_n).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n))
-            .prop_map(move |raw| {
-                raw.into_iter()
-                    .filter(|(a, b)| a != b)
-                    .collect::<Vec<_>>()
-            });
+            .prop_map(move |raw| raw.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>());
         (Just(n), edges)
     })
 }

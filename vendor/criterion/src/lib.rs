@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no network access to a crates
+//! registry, so the workspace vendors the benchmark API it uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (benches are built
+//! with `harness = false`, exactly as with real criterion).
+//!
+//! Timing model: each benchmark is warmed up briefly, then timed over a
+//! fixed batch whose size targets ~`measurement_ms` of wall clock. Reported
+//! numbers are mean ns/iter plus derived throughput — good enough to rank
+//! implementations and catch order-of-magnitude regressions, with none of
+//! criterion's statistics machinery. Passing `--test` (which `cargo test`
+//! does for `harness = false` targets) runs every benchmark closure once
+//! and exits, so benches are smoke-checked without burning CI time.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Smoke-test mode: run each benchmark body once, skip timing.
+    test_mode: bool,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply `--test` / `--bench` / filter arguments from the CLI, the way
+    /// cargo invokes `harness = false` targets.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                // Common cargo-passed flags that take a value.
+                "--color" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_ms: 300,
+        }
+    }
+
+    /// Standalone benchmark outside a group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.label.clone());
+        group.run(String::new(), None, f);
+        group.finish();
+    }
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id (`function_name/parameter`).
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_ms: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Compatibility knob; the vendored harness keys measurement on wall
+    /// clock, not sample counts, so this only scales measurement time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer samples requested = caller knows iterations are expensive;
+        // keep total time flat by shrinking the measurement window.
+        self.measurement_ms = (3 * n as u64).clamp(30, 300);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    fn run(
+        &mut self,
+        label: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let full = if label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
+        // Warm-up: let caches/branch predictors settle and estimate speed.
+        let mut b = Bencher {
+            mode: Mode::Warmup {
+                budget: Duration::from_millis(50),
+            },
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        } else {
+            1e-3
+        };
+        let target = Duration::from_millis(self.measurement_ms).as_secs_f64();
+        let batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 100_000_000);
+        let mut b = Bencher {
+            mode: Mode::Measure { batch },
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        let thr = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.1} Melem/s", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("bench {full:<48} {ns:>14.1} ns/iter{thr}");
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    TestOnce,
+    Warmup { budget: Duration },
+    Measure { batch: u64 },
+}
+
+/// Passed to every benchmark closure; `iter` times the hot code.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive so the optimizer cannot
+    /// delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                std::hint::black_box(routine());
+                self.iters = 1;
+            }
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    std::hint::black_box(routine());
+                    self.iters += 1;
+                }
+                self.elapsed = start.elapsed();
+            }
+            Mode::Measure { batch } => {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = batch;
+            }
+        }
+    }
+}
+
+/// Mirror of `criterion::black_box` (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("k=2").label, "k=2");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_something() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("fast", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("nomatch".into()),
+        };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

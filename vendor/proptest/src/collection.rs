@@ -1,0 +1,57 @@
+//! Strategies for collections.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A `Vec` strategy: length drawn from `len`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.start >= self.len.end {
+            self.len.start
+        } else {
+            rng.random_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = rng_for("vec_len");
+        let s = vec(0u32..5, 2..7);
+        for _ in 0..500 {
+            let v = s.new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn empty_length_range_is_allowed() {
+        // `0..0` must yield empty vectors, matching 0..(3*n) when n = 0.
+        let mut rng = rng_for("vec_empty");
+        let s = vec(0u32..5, 0..1);
+        for _ in 0..50 {
+            assert!(s.new_value(&mut rng).is_empty());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no network access to a crates
+//! registry, so the workspace vendors the subset of proptest it uses:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for integer ranges, tuples of strategies, and [`strategy::Just`];
+//! * [`collection::vec`] for random-length vectors;
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]` support;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning test-case errors.
+//!
+//! Differences from real proptest, by design: generation is derived from a
+//! fixed per-test seed (stable CI, no persistence files), and failing cases
+//! are reported but **not shrunk** — the failing case index and seed are
+//! printed so a failure reproduces exactly.
+
+pub mod collection;
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The macro-driven test runner.
+///
+/// Accepts the same shape the real crate does for the usage in this
+/// workspace:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, (n, v) in some_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Per-test deterministic seed: stable across runs and
+                // platforms, different across tests.
+                let mut runner_rng = $crate::test_runner::rng_for(stringify!($name));
+                for case in 0..config.cases {
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $pat = $crate::strategy::Strategy::new_value(
+                                &($strat),
+                                &mut runner_rng,
+                            );)+
+                            $body
+                            #[allow(unreachable_code)]
+                            return Ok(());
+                        })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest case {case}/{} failed for `{}`: {e}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body, failing the case (not the process)
+/// on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}

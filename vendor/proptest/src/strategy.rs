@@ -1,0 +1,156 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `new_value`
+/// draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut rng = rng_for("range_strategy");
+        for _ in 0..1000 {
+            let v = (3u32..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_clones_value() {
+        let mut rng = rng_for("just");
+        assert_eq!(Just(41u8).new_value(&mut rng), 41);
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = rng_for("map");
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_derived_strategy() {
+        let mut rng = rng_for("flat_map");
+        let s = (1usize..5).prop_flat_map(|n| (Just(n), 0..n as u32));
+        for _ in 0..200 {
+            let (n, v) = s.new_value(&mut rng);
+            assert!((v as usize) < n);
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_generates_componentwise() {
+        let mut rng = rng_for("tuple");
+        let (a, b) = (0u32..4, 10u64..14).new_value(&mut rng);
+        assert!(a < 4);
+        assert!((10..14).contains(&b));
+    }
+}

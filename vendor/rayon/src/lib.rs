@@ -1,0 +1,315 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The container this workspace builds in has no network access to a crates
+//! registry, so the workspace vendors the parallel-iterator subset it
+//! actually uses, implemented on `std::thread::scope`:
+//!
+//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` — order-preserving
+//!   parallel map over an index range (the Monte-Carlo trial fan-out);
+//! * `slice.par_iter_mut().enumerate().for_each(f)` — parallel in-place
+//!   update of a slice (the large-matvec row loop);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped worker-count
+//!   override, used by the determinism suite to compare 1-thread and
+//!   N-thread schedules.
+//!
+//! Unlike real rayon there is no work stealing: items are split into one
+//! contiguous chunk per worker. For the workloads here (independent trials
+//! of comparable cost) static chunking is within noise of stealing, and the
+//! results are bitwise identical regardless of worker count because every
+//! result lands at its item's index.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`]; 0 means
+    /// "use all available parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of workers the current scope should fan out to.
+fn current_num_threads_inner() -> usize {
+    let installed = POOL_THREADS.with(|c| c.get());
+    if installed != 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The number of threads parallel operations will use right now.
+pub fn current_num_threads() -> usize {
+    current_num_threads_inner()
+}
+
+/// Error building a thread pool. The vendored pool cannot actually fail to
+/// build; the type exists so call sites can `.unwrap()` like with rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (all available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `num_threads` workers (0 = all available).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker-count policy. Parallel operations run inside
+/// [`ThreadPool::install`] use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count installed for every parallel
+    /// operation on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Run `f(index, &mut items[index])`-style jobs: applies `f` to every index
+/// in `0..len`, fanning out over the current worker count. The closure
+/// receives disjoint indices, so `f` only needs `Sync`.
+fn run_indexed<F: Fn(usize) + Sync>(len: usize, f: F) {
+    let workers = current_num_threads_inner().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    // Coarse dynamic chunking: enough chunks for balance, few enough that
+    // the atomic counter stays cold.
+    let chunk = (len / (workers * 4)).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for i in start..(start + chunk).min(len) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// An eagerly materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving input order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        let len = self.items.len();
+        // Option slots keep ownership consistent even if `f` panics on some
+        // worker: un-taken inputs and already-computed outputs drop cleanly.
+        let mut slots: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        {
+            // Hand each index exclusive access to its input and output slot.
+            let in_ptr = SyncPtr(slots.as_mut_ptr());
+            let out_ptr = SyncPtr(out.as_mut_ptr());
+            run_indexed(len, |i| {
+                // SAFETY: run_indexed invokes each index exactly once, and
+                // indices are disjoint, so the &muts never alias.
+                unsafe {
+                    let item = (*in_ptr.at(i)).take().expect("item present");
+                    *out_ptr.at(i) = Some(f(item));
+                }
+            });
+        }
+        ParIter {
+            items: out.into_iter().map(|x| x.expect("slot filled")).collect(),
+        }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(f).items.clear();
+    }
+
+    /// Collect the (already computed, order-preserved) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Raw pointer wrapper asserting cross-thread use is externally synchronized
+/// (disjoint indices per worker).
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+impl<T> SyncPtr<T> {
+    /// The `i`-th element's pointer. A method (rather than field access in
+    /// the worker closures) so edition-2021 disjoint capture moves the
+    /// whole `Sync` wrapper into the closure, not the bare `*mut T`.
+    fn at(&self, i: usize) -> *mut T {
+        // SAFETY: callers index within the allocation they built this from.
+        unsafe { self.0.add(i) }
+    }
+}
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+
+/// Borrowing parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { slice: self.slice }
+    }
+
+    /// Parallel in-place for-each.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        ParIterMutEnumerate { slice: self.slice }.for_each(|(_, x)| f(x));
+    }
+}
+
+/// Enumerated form of [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParIterMutEnumerate<'_, T> {
+    /// Parallel in-place for-each with indices.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let len = self.slice.len();
+        let ptr = SyncPtr(self.slice.as_mut_ptr());
+        run_indexed(len, |i| {
+            // SAFETY: indices are disjoint across workers, so each &mut is
+            // exclusive.
+            unsafe { f((i, &mut *ptr.at(i))) }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_updates_every_slot() {
+        let mut v = vec![0usize; 5000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn single_thread_pool_matches_default() {
+        let work = || {
+            (0..1000)
+                .into_par_iter()
+                .map(|i: usize| i.wrapping_mul(0x9E3779B9))
+                .collect::<Vec<_>>()
+        };
+        let single = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(work);
+        assert_eq!(single, work());
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let before = crate::current_num_threads();
+        pool.install(|| assert_eq!(crate::current_num_threads(), 1));
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = (0..0).into_par_iter().map(|i: usize| i as u32).collect();
+        assert!(v.is_empty());
+        let mut e: Vec<u8> = vec![];
+        e.par_iter_mut()
+            .enumerate()
+            .for_each(|(_, _)| unreachable!());
+    }
+}

@@ -1,0 +1,40 @@
+//! Traits that make `.into_par_iter()` / `.par_iter_mut()` available,
+//! mirroring `rayon::prelude`.
+
+use crate::{ParIter, ParIterMut};
+
+/// Conversion into a parallel iterator (eager: items are materialized, then
+/// processed in parallel by the adapters).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Parallel mutable iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator of `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
