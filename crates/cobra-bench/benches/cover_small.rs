@@ -10,6 +10,38 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+/// The frontier-engine headline comparison: one full 2-cobra cover of the
+/// 64×64 grid per iteration, measured through the legacy dyn dispatch
+/// path and through the monomorphized typed path. Identical work per
+/// iteration (both consume the same RNG stream), so the ratio is pure
+/// dispatch + frontier overhead. `bench_frontier` records the same pair
+/// into `BENCH_frontier.json` for the PR-over-PR trajectory.
+fn bench_engine_dyn_vs_typed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier_engine_grid64");
+    group.sample_size(10);
+    let g = Family::Grid { d: 2 }.build(63, 42); // 64×64 = 4096 vertices
+    let cobra = CobraWalk::standard();
+    group.bench_function("dyn_path", |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let res = CoverDriver::new(&g)
+                .run(&cobra, 0, 10_000_000, &mut rng)
+                .unwrap();
+            black_box(res.steps)
+        })
+    });
+    group.bench_function("typed_path", |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let res = CoverDriver::new(&g)
+                .run_typed(&cobra, 0, 10_000_000, &mut rng)
+                .unwrap();
+            black_box(res.steps)
+        })
+    });
+    group.finish();
+}
+
 fn bench_cover_per_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("cover_cobra_small");
     group.sample_size(20);
@@ -63,5 +95,10 @@ fn bench_cover_per_process(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cover_per_family, bench_cover_per_process);
+criterion_group!(
+    benches,
+    bench_engine_dyn_vs_typed,
+    bench_cover_per_family,
+    bench_cover_per_process
+);
 criterion_main!(benches);

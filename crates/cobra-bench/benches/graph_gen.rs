@@ -1,7 +1,7 @@
 //! Criterion: graph generator throughput. Generators run once per sweep
 //! cell, so they must stay cheap relative to the walks they feed.
 
-use cobra_graph::generators::{classic, gnp, grid, hypercube, random_regular};
+use cobra_graph::generators::{chung_lu, classic, gnp, grid, hypercube, random_regular};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +37,13 @@ fn bench_random_generators(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(2);
             let p = 3.0 * (n as f64).ln() / n as f64;
             b.iter(|| black_box(gnp::gnp(n, p, &mut rng).unwrap()))
+        });
+        // Chung-Lu power-law instances feed the engine-equivalence suite
+        // and the heavy-tail experiments; keep generation cheap relative
+        // to the walks it feeds.
+        group.bench_function(BenchmarkId::new("chung_lu_b2.5", n), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(chung_lu(n, 2.5, 8.0, &mut rng).unwrap()))
         });
     }
     group.finish();

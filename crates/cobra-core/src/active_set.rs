@@ -116,6 +116,48 @@ mod tests {
         assert!(s.contains(0));
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Membership stays correct across epoch wraparound: run a random
+        /// insert/clear schedule with the epoch pinned just below
+        /// `u32::MAX`, so the wrap-and-reset branch in `clear` fires mid
+        /// sequence. Oracle: a `HashSet` rebuilt at every clear.
+        #[test]
+        fn epoch_wrap_matches_hashset_oracle(
+            start_offset in 0u32..6,
+            ops in proptest::collection::vec((0u8..8, 0u32..24), 1..80),
+        ) {
+            let mut s = DenseSet::new(24);
+            // Pre-populate under the soon-to-wrap epoch so stale stamps
+            // exist when the wrap resets them.
+            s.insert(3);
+            s.insert(7);
+            s.epoch = u32::MAX - start_offset;
+            // Re-stamp the pre-populated members under the pinned epoch.
+            let mut oracle = std::collections::HashSet::new();
+            s.stamps.fill(0);
+            s.len = 0;
+            for v in [3u32, 7] {
+                s.insert(v);
+                oracle.insert(v);
+            }
+            for (sel, v) in ops {
+                if sel == 0 {
+                    s.clear();
+                    oracle.clear();
+                } else {
+                    proptest::prop_assert_eq!(s.insert(v), oracle.insert(v));
+                }
+                proptest::prop_assert_eq!(s.len(), oracle.len());
+                for u in 0..24u32 {
+                    proptest::prop_assert_eq!(s.contains(u), oracle.contains(&u));
+                }
+                proptest::prop_assert!(s.epoch != 0, "epoch 0 is reserved for stale stamps");
+            }
+        }
+    }
+
     #[test]
     fn many_clear_cycles() {
         let mut s = DenseSet::new(4);

@@ -13,8 +13,8 @@
 //! this is exactly the simple random walk; the paper's results are for
 //! `k = 2`.
 
-use crate::active_set::DenseSet;
-use crate::process::{sample_index, Process, ProcessState};
+use crate::frontier::Frontier;
+use crate::process::{sample_index, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -51,44 +51,91 @@ impl Process for CobraWalk {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        assert!((start as usize) < g.num_vertices(), "start vertex in range");
-        Box::new(CobraState {
-            k: self.branching_factor,
-            active: vec![start],
-            next: Vec::new(),
-            dedup: DenseSet::new(g.num_vertices()),
-        })
+        Box::new(self.spawn_typed(g, start))
     }
 }
 
-/// Mutable state of a running cobra walk: the current active set plus
-/// reusable scratch buffers (no per-step allocation once warmed up).
-struct CobraState {
-    k: u32,
-    active: Vec<Vertex>,
-    next: Vec<Vertex>,
-    dedup: DenseSet,
+impl TypedProcess for CobraWalk {
+    type State = CobraState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> CobraState {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        let mut cur = Frontier::new(g.num_vertices());
+        cur.insert(start);
+        CobraState {
+            k: self.branching_factor,
+            cur,
+            next: Frontier::new(g.num_vertices()),
+            occ: vec![start],
+        }
+    }
 }
 
-impl ProcessState for CobraState {
-    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
-        self.next.clear();
-        self.dedup.clear();
-        for &v in &self.active {
+/// Mutable state of a running cobra walk: the active set as a hybrid
+/// sparse/dense [`Frontier`].
+///
+/// The step iterates the frontier in its native order — insertion order
+/// while sparse, ascending vertex order once dense (which streams the CSR
+/// adjacency arrays sequentially instead of hopping around them). The
+/// order is deterministic, and the dyn and typed routes share this one
+/// step body, so they consume identical RNG streams. `occ` is a
+/// materialized copy of the active set kept for
+/// [`ProcessState::occupied`]; the fast-path [`TypedState::step_fast`]
+/// skips maintaining it because the typed drivers read the frontier
+/// directly. No per-step allocation once warmed up.
+pub struct CobraState {
+    k: u32,
+    cur: Frontier,
+    next: Frontier,
+    occ: Vec<Vertex>,
+}
+
+impl CobraState {
+    /// One round of the cobra dynamics: `k` uniform out-choices per active
+    /// vertex, deduplicated into the next frontier through the branch-free
+    /// quiet-insert path. `MAINTAIN_OCC` is compile-time so the dyn route
+    /// rematerializes its `occupied()` slice after the round while the
+    /// fast route drops that bookkeeping entirely — same draws either way.
+    #[inline]
+    fn advance<const MAINTAIN_OCC: bool, R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        let CobraState { k, cur, next, occ } = self;
+        next.clear();
+        cur.for_each(|v| {
             let ns = g.neighbors(v);
             debug_assert!(!ns.is_empty(), "cobra walk requires min degree >= 1");
-            for _ in 0..self.k {
+            for _ in 0..*k {
                 let u = ns[sample_index(ns.len(), rng)];
-                if self.dedup.insert(u) {
-                    self.next.push(u);
-                }
+                next.insert_quiet(u);
             }
+        });
+        next.finalize_len();
+        if MAINTAIN_OCC {
+            occ.clear();
+            next.for_each(|v| occ.push(v));
         }
-        std::mem::swap(&mut self.active, &mut self.next);
+        std::mem::swap(cur, next);
+    }
+}
+
+impl TypedState for CobraState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance::<true, R>(g, rng);
+    }
+
+    fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance::<false, R>(g, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {
-        &self.active
+        &self.occ
+    }
+
+    fn support_size(&self) -> usize {
+        self.cur.len()
+    }
+
+    fn frontier(&self) -> Option<&Frontier> {
+        Some(&self.cur)
     }
 }
 

@@ -12,7 +12,7 @@
 //! round (plus the source initially), so the driver's union-over-time
 //! coverage matches the usual "all vertices informed" completion time.
 
-use crate::process::{random_neighbor, Process, ProcessState};
+use crate::process::{random_neighbor, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -44,7 +44,15 @@ impl Process for PushGossip {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        Box::new(GossipState::new(g, start, Mode::Push))
+        Box::new(self.spawn_typed(g, start))
+    }
+}
+
+impl TypedProcess for PushGossip {
+    type State = GossipState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> GossipState {
+        GossipState::new(g, start, Mode::Push)
     }
 }
 
@@ -54,7 +62,15 @@ impl Process for PullGossip {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        Box::new(GossipState::new(g, start, Mode::Pull))
+        Box::new(self.spawn_typed(g, start))
+    }
+}
+
+impl TypedProcess for PullGossip {
+    type State = GossipState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> GossipState {
+        GossipState::new(g, start, Mode::Pull)
     }
 }
 
@@ -64,13 +80,22 @@ impl Process for PushPullGossip {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        Box::new(GossipState::new(g, start, Mode::PushPull))
+        Box::new(self.spawn_typed(g, start))
+    }
+}
+
+impl TypedProcess for PushPullGossip {
+    type State = GossipState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> GossipState {
+        GossipState::new(g, start, Mode::PushPull)
     }
 }
 
 const NEVER: u32 = u32::MAX;
 
-struct GossipState {
+/// Mutable state of a running gossip process (any exchange mode).
+pub struct GossipState {
     mode: Mode,
     /// Round at which each vertex became informed (`NEVER` if uninformed).
     informed_at: Vec<u32>,
@@ -101,8 +126,8 @@ impl GossipState {
     }
 }
 
-impl ProcessState for GossipState {
-    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+impl TypedState for GossipState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
         let already = self.informed_list.len();
         self.fresh_from = already;
         self.round += 1;

@@ -54,6 +54,7 @@ pub mod biased;
 pub mod branching;
 pub mod coalescing;
 pub mod cobra;
+pub mod frontier;
 pub mod gossip;
 pub mod measure;
 pub mod parallel_walks;
@@ -71,10 +72,11 @@ pub use biased::{BiasedWalk, Controller, MetropolisWalk, TowardTarget};
 pub use branching::BranchingWalk;
 pub use coalescing::CoalescingWalks;
 pub use cobra::CobraWalk;
+pub use frontier::{CoverageMask, Frontier};
 pub use gossip::{PullGossip, PushGossip, PushPullGossip};
 pub use measure::{CoverDriver, CoverResult, HittingDriver, HittingResult};
 pub use parallel_walks::ParallelWalks;
-pub use process::{Process, ProcessState};
+pub use process::{Process, ProcessState, TypedProcess, TypedState};
 pub use queueing::DriftChain;
 pub use schedule::{BranchingSchedule, ScheduledCobraWalk};
 pub use simple::SimpleWalk;

@@ -10,7 +10,8 @@
 //!   cover time `= O(h_max · log n)` — checked empirically by
 //!   [`matthews_ratio`].
 
-use crate::process::Process;
+use crate::frontier::CoverageMask;
+use crate::process::{Process, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -106,6 +107,61 @@ impl<'g> CoverDriver<'g> {
             trajectory,
         })
     }
+
+    /// Monomorphized fast path: identical semantics (and, on the same
+    /// seed, identical results — see `tests/engine_equivalence.rs`) to
+    /// [`CoverDriver::run`], but with zero virtual dispatch. The process
+    /// state, the RNG, and the coverage bookkeeping all inline; coverage
+    /// is tracked in a [`CoverageMask`] and updated word-parallel whenever
+    /// the process exposes a dense [`crate::frontier::Frontier`].
+    pub fn run_typed<P: TypedProcess, R: Rng + ?Sized>(
+        &self,
+        process: &P,
+        start: Vertex,
+        max_steps: usize,
+        rng: &mut R,
+    ) -> Option<CoverResult> {
+        let n = self.g.num_vertices();
+        if n == 0 {
+            return None;
+        }
+        let mut state = process.spawn_typed(self.g, start);
+        let mut covered = CoverageMask::new(n);
+        covered.mark_slice(state.occupied());
+        let mut trajectory = self.record_trajectory.then(Vec::new);
+        if covered.is_complete() {
+            return Some(CoverResult {
+                steps: 0,
+                covered: n,
+                completed: true,
+                trajectory,
+            });
+        }
+        for t in 1..=max_steps {
+            state.step_fast(self.g, rng);
+            match state.frontier() {
+                Some(f) => covered.union_frontier(f),
+                None => covered.mark_slice(state.occupied()),
+            };
+            if let Some(tr) = trajectory.as_mut() {
+                tr.push(state.support_size());
+            }
+            if covered.is_complete() {
+                return Some(CoverResult {
+                    steps: t,
+                    covered: n,
+                    completed: true,
+                    trajectory,
+                });
+            }
+        }
+        Some(CoverResult {
+            steps: max_steps,
+            covered: covered.count(),
+            completed: false,
+            trajectory,
+        })
+    }
 }
 
 /// Outcome of a hitting-time run.
@@ -149,6 +205,45 @@ impl<'g> HittingDriver<'g> {
         for t in 1..=max_steps {
             state.step(self.g, rng);
             if state.occupied().contains(&target) {
+                return HittingResult {
+                    steps: t,
+                    hit: true,
+                };
+            }
+        }
+        HittingResult {
+            steps: max_steps,
+            hit: false,
+        }
+    }
+
+    /// Monomorphized fast path for hitting times; identical semantics and
+    /// seed-for-seed results to [`HittingDriver::run`]. When the process
+    /// exposes a [`crate::frontier::Frontier`], the per-round hit test is
+    /// an O(1)/O(log s) membership query instead of a linear scan of the
+    /// occupied slice.
+    pub fn run_typed<P: TypedProcess, R: Rng + ?Sized>(
+        &self,
+        process: &P,
+        start: Vertex,
+        target: Vertex,
+        max_steps: usize,
+        rng: &mut R,
+    ) -> HittingResult {
+        let mut state = process.spawn_typed(self.g, start);
+        if state.occupied().contains(&target) {
+            return HittingResult {
+                steps: 0,
+                hit: true,
+            };
+        }
+        for t in 1..=max_steps {
+            state.step_fast(self.g, rng);
+            let hit = match state.frontier() {
+                Some(f) => f.contains(target),
+                None => state.occupied().contains(&target),
+            };
+            if hit {
                 return HittingResult {
                     steps: t,
                     hit: true,

@@ -57,22 +57,108 @@ impl<T: Process + ?Sized> Process for &T {
     }
 }
 
+/// A [`Process`] whose per-run state has a concrete (non-boxed) type.
+///
+/// This is the monomorphized fast path: [`TypedProcess::spawn_typed`]
+/// returns the state by value, so drivers generic over `P: TypedProcess`
+/// step it with zero virtual dispatch — the walk kernel, the RNG, and the
+/// coverage bookkeeping all inline into one loop. The dyn API stays
+/// available for heterogeneous experiment tables: [`Process::spawn`] for
+/// these types boxes the *same* state struct, so both routes execute
+/// identical code and consume identical RNG streams (the seed-equivalence
+/// harness in `tests/engine_equivalence.rs` pins this bit-for-bit).
+pub trait TypedProcess: Process {
+    /// The concrete per-run state.
+    type State: TypedState + 'static;
+
+    /// Create a fresh, unboxed run of the process (fast-path analogue of
+    /// [`Process::spawn`]).
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> Self::State;
+}
+
+/// Blanket impl so `&T` specifications keep the typed route too.
+impl<T: TypedProcess> TypedProcess for &T {
+    type State = T::State;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> Self::State {
+        (**self).spawn_typed(g, start)
+    }
+}
+
+/// Statically dispatched analogue of [`ProcessState`].
+///
+/// The contract is identical to [`ProcessState`]; the only difference is
+/// that [`TypedState::step`] is generic over the RNG, so a driver holding a
+/// concrete `StdRng` monomorphizes the whole step (no `dyn Rng` virtual
+/// call per random draw). Every implementor automatically implements
+/// [`ProcessState`] through a blanket impl that instantiates the same
+/// `step` with `R = dyn Rng` — one body, two dispatch styles, so the two
+/// routes cannot drift apart.
+pub trait TypedState {
+    /// Advance one round. Must draw from `rng` exactly as the dyn route
+    /// does (it is the same code, instantiated twice).
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R);
+
+    /// Advance one round on the fast path. Must consume the same RNG
+    /// stream and produce the same occupied *set* as [`TypedState::step`],
+    /// but may skip materializing the [`TypedState::occupied`] slice
+    /// (leaving it stale) when the state exposes a
+    /// [`TypedState::frontier`] — the typed drivers read the frontier and
+    /// [`TypedState::support_size`] instead. Defaults to `step`.
+    fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.step(g, rng)
+    }
+
+    /// Vertices occupied after the last step. May contain duplicates.
+    fn occupied(&self) -> &[Vertex];
+
+    /// Number of tokens currently maintained; see
+    /// [`ProcessState::support_size`].
+    fn support_size(&self) -> usize {
+        self.occupied().len()
+    }
+
+    /// The hybrid sparse/dense frontier describing the occupied set, when
+    /// the process maintains one (set-valued processes: cobra, SIS).
+    /// Drivers use it for word-parallel coverage union and O(1)/O(log s)
+    /// hit tests; `None` falls back to the [`TypedState::occupied`] slice.
+    fn frontier(&self) -> Option<&crate::frontier::Frontier> {
+        None
+    }
+}
+
+/// Every typed state is usable through the dyn API: the blanket impl
+/// instantiates the generic step with `R = dyn Rng`, so boxed and unboxed
+/// runs execute the same instructions modulo dispatch.
+impl<T: TypedState> ProcessState for T {
+    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+        TypedState::step(self, g, rng)
+    }
+
+    fn occupied(&self) -> &[Vertex] {
+        TypedState::occupied(self)
+    }
+
+    fn support_size(&self) -> usize {
+        TypedState::support_size(self)
+    }
+}
+
 /// Draw a uniformly random neighbor of `v`. Panics if `v` is isolated —
 /// every process in the paper is defined on connected graphs, so an
 /// isolated vertex is a caller bug worth failing loudly on.
 #[inline]
-pub fn random_neighbor(g: &Graph, v: Vertex, rng: &mut dyn Rng) -> Vertex {
+pub fn random_neighbor<R: Rng + ?Sized>(g: &Graph, v: Vertex, rng: &mut R) -> Vertex {
     let ns = g.neighbors(v);
     assert!(!ns.is_empty(), "vertex {v} has no neighbors");
-    // Sample an index in 0..deg(v) without the RngExt machinery to keep
-    // this hot path monomorphic over `dyn Rng`.
     ns[sample_index(ns.len(), rng)]
 }
 
-/// Uniform index in `0..len` from a `dyn Rng` using Lemire-style rejection;
-/// unbiased and branch-light.
+/// Uniform index in `0..len` using Lemire-style rejection; unbiased and
+/// branch-light. Generic over the RNG so the typed fast path inlines the
+/// generator while `&mut dyn Rng` callers keep working unchanged.
 #[inline]
-pub fn sample_index(len: usize, rng: &mut dyn Rng) -> usize {
+pub fn sample_index<R: Rng + ?Sized>(len: usize, rng: &mut R) -> usize {
     debug_assert!(len > 0);
     let len = len as u64;
     // Widening-multiply rejection sampling.
@@ -90,15 +176,15 @@ pub fn sample_index(len: usize, rng: &mut dyn Rng) -> usize {
     (m >> 64) as usize
 }
 
-/// A fair coin from a `dyn Rng`.
+/// A fair coin.
 #[inline]
-pub fn coin(rng: &mut dyn Rng) -> bool {
+pub fn coin<R: Rng + ?Sized>(rng: &mut R) -> bool {
     rng.next_u64() & 1 == 1
 }
 
-/// Bernoulli(p) from a `dyn Rng`.
+/// Bernoulli(p).
 #[inline]
-pub fn bernoulli(p: f64, rng: &mut dyn Rng) -> bool {
+pub fn bernoulli<R: Rng + ?Sized>(p: f64, rng: &mut R) -> bool {
     debug_assert!((0.0..=1.0).contains(&p));
     // 53-bit uniform in [0,1).
     let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);

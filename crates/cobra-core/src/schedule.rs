@@ -9,8 +9,8 @@
 //! Experiment E14 compares schedules with equal *mean* branching to ask
 //! whether E\[k\] is the quantity that matters.
 
-use crate::active_set::DenseSet;
-use crate::process::{bernoulli, sample_index, Process, ProcessState};
+use crate::frontier::Frontier;
+use crate::process::{bernoulli, sample_index, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -47,7 +47,7 @@ pub enum BranchingSchedule {
 
 impl BranchingSchedule {
     /// Branching factor for an active vertex `v` in round `t`.
-    pub fn branches(&self, t: usize, g: &Graph, v: Vertex, rng: &mut dyn Rng) -> u32 {
+    pub fn branches<R: Rng + ?Sized>(&self, t: usize, g: &Graph, v: Vertex, rng: &mut R) -> u32 {
         match *self {
             BranchingSchedule::Fixed(k) => k,
             BranchingSchedule::Alternating { even, odd } => {
@@ -138,46 +138,87 @@ impl Process for ScheduledCobraWalk {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        assert!((start as usize) < g.num_vertices(), "start vertex in range");
-        Box::new(ScheduledState {
-            schedule: self.schedule,
-            round: 0,
-            active: vec![start],
-            next: Vec::new(),
-            dedup: DenseSet::new(g.num_vertices()),
-        })
+        Box::new(self.spawn_typed(g, start))
     }
 }
 
-struct ScheduledState {
-    schedule: BranchingSchedule,
-    round: usize,
-    active: Vec<Vertex>,
-    next: Vec<Vertex>,
-    dedup: DenseSet,
+impl TypedProcess for ScheduledCobraWalk {
+    type State = ScheduledState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> ScheduledState {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        let mut cur = Frontier::new(g.num_vertices());
+        cur.insert(start);
+        ScheduledState {
+            schedule: self.schedule,
+            round: 0,
+            cur,
+            next: Frontier::new(g.num_vertices()),
+            occ: vec![start],
+        }
+    }
 }
 
-impl ProcessState for ScheduledState {
-    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
-        self.next.clear();
-        self.dedup.clear();
-        for &v in &self.active {
+/// Mutable state of a scheduled cobra walk, stepped through the hybrid
+/// [`Frontier`] exactly like [`crate::cobra::CobraState`] — so a
+/// `Fixed(k)` schedule reproduces the plain `k`-cobra walk draw-for-draw.
+pub struct ScheduledState {
+    schedule: BranchingSchedule,
+    round: usize,
+    cur: Frontier,
+    next: Frontier,
+    occ: Vec<Vertex>,
+}
+
+impl ScheduledState {
+    #[inline]
+    fn advance<const MAINTAIN_OCC: bool, R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        let ScheduledState {
+            schedule,
+            round,
+            cur,
+            next,
+            occ,
+        } = self;
+        next.clear();
+        cur.for_each(|v| {
             let ns = g.neighbors(v);
             debug_assert!(!ns.is_empty(), "cobra walk requires min degree >= 1");
-            let k = self.schedule.branches(self.round, g, v, rng);
+            let k = schedule.branches(*round, g, v, rng);
             for _ in 0..k {
                 let u = ns[sample_index(ns.len(), rng)];
-                if self.dedup.insert(u) {
-                    self.next.push(u);
-                }
+                next.insert_quiet(u);
             }
+        });
+        next.finalize_len();
+        if MAINTAIN_OCC {
+            occ.clear();
+            next.for_each(|v| occ.push(v));
         }
         self.round += 1;
-        std::mem::swap(&mut self.active, &mut self.next);
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+}
+
+impl TypedState for ScheduledState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance::<true, R>(g, rng);
+    }
+
+    fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance::<false, R>(g, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {
-        &self.active
+        &self.occ
+    }
+
+    fn support_size(&self) -> usize {
+        self.cur.len()
+    }
+
+    fn frontier(&self) -> Option<&Frontier> {
+        Some(&self.cur)
     }
 }
 

@@ -4,7 +4,7 @@
 //! Θ(n log n) and Θ(n³) (§1.2); every experiment that claims a cobra-walk
 //! speedup measures against this process.
 
-use crate::process::{bernoulli, random_neighbor, Process, ProcessState};
+use crate::process::{bernoulli, random_neighbor, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -52,21 +52,30 @@ impl Process for SimpleWalk {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        assert!((start as usize) < g.num_vertices(), "start vertex in range");
-        Box::new(SimpleState {
-            laziness: self.laziness,
-            pos: [start],
-        })
+        Box::new(self.spawn_typed(g, start))
     }
 }
 
-struct SimpleState {
+impl TypedProcess for SimpleWalk {
+    type State = SimpleState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> SimpleState {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        SimpleState {
+            laziness: self.laziness,
+            pos: [start],
+        }
+    }
+}
+
+/// Mutable state of a running simple walk: one pebble position.
+pub struct SimpleState {
     laziness: f64,
     pos: [Vertex; 1],
 }
 
-impl ProcessState for SimpleState {
-    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+impl TypedState for SimpleState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
         if self.laziness > 0.0 && bernoulli(self.laziness, rng) {
             return;
         }

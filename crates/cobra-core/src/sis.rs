@@ -13,8 +13,8 @@
 //!   drivers report never-completed coverage. This boundary is exercised
 //!   by tests and gives the epidemic example its subcritical regime.
 
-use crate::active_set::DenseSet;
-use crate::process::{bernoulli, sample_index, Process, ProcessState};
+use crate::frontier::Frontier;
+use crate::process::{bernoulli, sample_index, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -53,47 +53,89 @@ impl Process for SisProcess {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
-        assert!((start as usize) < g.num_vertices(), "start vertex in range");
-        Box::new(SisState {
-            contacts: self.contacts,
-            transmit_prob: self.transmit_prob,
-            infected: vec![start],
-            next: Vec::new(),
-            dedup: DenseSet::new(g.num_vertices()),
-        })
+        Box::new(self.spawn_typed(g, start))
     }
 }
 
-struct SisState {
-    contacts: u32,
-    transmit_prob: f64,
-    infected: Vec<Vertex>,
-    next: Vec<Vertex>,
-    dedup: DenseSet,
+impl TypedProcess for SisProcess {
+    type State = SisState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> SisState {
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        let mut cur = Frontier::new(g.num_vertices());
+        cur.insert(start);
+        SisState {
+            contacts: self.contacts,
+            transmit_prob: self.transmit_prob,
+            cur,
+            next: Frontier::new(g.num_vertices()),
+            occ: vec![start],
+        }
+    }
 }
 
-impl ProcessState for SisState {
-    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
-        self.next.clear();
-        self.dedup.clear();
-        for &v in &self.infected {
+/// Mutable state of a running SIS epidemic: the infected set as a hybrid
+/// sparse/dense [`Frontier`], stepped in the frontier's native
+/// (deterministic) order exactly like [`crate::cobra::CobraState`] — so
+/// `p = 1` reproduces the cobra walk draw-for-draw.
+pub struct SisState {
+    contacts: u32,
+    transmit_prob: f64,
+    cur: Frontier,
+    next: Frontier,
+    occ: Vec<Vertex>,
+}
+
+impl SisState {
+    #[inline]
+    fn advance<const MAINTAIN_OCC: bool, R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        let SisState {
+            contacts,
+            transmit_prob,
+            cur,
+            next,
+            occ,
+        } = self;
+        next.clear();
+        cur.for_each(|v| {
             let ns = g.neighbors(v);
             debug_assert!(!ns.is_empty(), "SIS requires min degree >= 1");
-            for _ in 0..self.contacts {
-                if self.transmit_prob < 1.0 && !bernoulli(self.transmit_prob, rng) {
+            for _ in 0..*contacts {
+                if *transmit_prob < 1.0 && !bernoulli(*transmit_prob, rng) {
                     continue;
                 }
                 let u = ns[sample_index(ns.len(), rng)];
-                if self.dedup.insert(u) {
-                    self.next.push(u);
-                }
+                next.insert_quiet(u);
             }
+        });
+        next.finalize_len();
+        if MAINTAIN_OCC {
+            occ.clear();
+            next.for_each(|v| occ.push(v));
         }
-        std::mem::swap(&mut self.infected, &mut self.next);
+        std::mem::swap(cur, next);
+    }
+}
+
+impl TypedState for SisState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance::<true, R>(g, rng);
+    }
+
+    fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance::<false, R>(g, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {
-        &self.infected
+        &self.occ
+    }
+
+    fn support_size(&self) -> usize {
+        self.cur.len()
+    }
+
+    fn frontier(&self) -> Option<&Frontier> {
+        Some(&self.cur)
     }
 }
 

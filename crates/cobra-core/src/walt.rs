@@ -14,7 +14,7 @@
 //! 1/2 all pebbles hold. Both the laziness and the three-pebble threshold
 //! are configurable here so experiment E13 can ablate them.
 
-use crate::process::{coin, sample_index, Process, ProcessState};
+use crate::process::{coin, sample_index, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -120,20 +120,28 @@ impl Process for WaltProcess {
     }
 
     fn spawn(&self, g: &Graph, start: Vertex) -> Box<dyn ProcessState> {
+        Box::new(self.spawn_typed(g, start))
+    }
+}
+
+impl TypedProcess for WaltProcess {
+    type State = WaltState;
+
+    fn spawn_typed(&self, g: &Graph, start: Vertex) -> WaltState {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
         let count = self.population_for(g.num_vertices());
-        Box::new(WaltState::new(
+        WaltState::new(
             vec![start; count],
             g.num_vertices(),
             self.lazy,
             self.threshold,
-        ))
+        )
     }
 }
 
 /// Running state: `positions[i]` is the vertex of pebble `i`, and pebble
 /// index *is* the total order (lower index = lower order).
-struct WaltState {
+pub struct WaltState {
     positions: Vec<Vertex>,
     lazy: bool,
     threshold: usize,
@@ -155,8 +163,8 @@ impl WaltState {
     }
 }
 
-impl ProcessState for WaltState {
-    fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
+impl TypedState for WaltState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
         if self.lazy && coin(rng) {
             return; // all pebbles hold this round
         }

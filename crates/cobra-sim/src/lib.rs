@@ -23,8 +23,11 @@ pub mod stats;
 pub mod sweep;
 pub mod table;
 
-pub use runner::{run_cover_trials, run_hitting_trials, TrialOutcome, TrialPlan};
+pub use runner::{
+    run_cover_trials, run_cover_trials_typed, run_hitting_trials, run_hitting_trials_typed,
+    TrialOutcome, TrialPlan,
+};
 pub use seeds::SeedSequence;
-pub use stats::Summary;
-pub use sweep::{SweepRow, SweepTable};
+pub use stats::{EmptySummary, Summary};
+pub use sweep::{run_cover_sweep, SweepRow, SweepTable};
 pub use table::{render_csv, render_markdown};

@@ -5,8 +5,8 @@
 //! bit-reproducible regardless of thread scheduling.
 
 use crate::seeds::SeedSequence;
-use crate::stats::Summary;
-use cobra_core::{CoverDriver, HittingDriver, Process};
+use crate::stats::{EmptySummary, Summary};
+use cobra_core::{CoverDriver, HittingDriver, Process, TypedProcess};
 use cobra_graph::{Graph, Vertex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +57,19 @@ impl TrialOutcome {
             self.summary.count() as f64 / total as f64
         }
     }
+
+    /// The summary over completed trials, or `Err(EmptySummary)` when
+    /// every trial was censored — use this instead of reading `summary`
+    /// directly when a too-small budget is a reachable condition, so the
+    /// failure is an explicit error rather than a downstream panic on
+    /// `Summary::mean`.
+    pub fn completed_summary(&self) -> Result<&Summary, EmptySummary> {
+        if self.summary.count() == 0 {
+            Err(EmptySummary)
+        } else {
+            Ok(&self.summary)
+        }
+    }
 }
 
 fn aggregate(times: Vec<Option<usize>>) -> TrialOutcome {
@@ -72,10 +85,11 @@ fn aggregate(times: Vec<Option<usize>>) -> TrialOutcome {
 }
 
 /// Measure cover times of `process` from `start` over `plan.trials`
-/// independent runs (parallel).
-pub fn run_cover_trials(
+/// independent runs (parallel). Accepts `&dyn Process` as before, or any
+/// concrete specification.
+pub fn run_cover_trials<P: Process + ?Sized>(
     g: &Graph,
-    process: &dyn Process,
+    process: &P,
     start: Vertex,
     plan: &TrialPlan,
 ) -> TrialOutcome {
@@ -85,7 +99,33 @@ pub fn run_cover_trials(
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
             let res = CoverDriver::new(g)
-                .run(process, start, plan.max_steps, &mut rng)
+                .run(&process, start, plan.max_steps, &mut rng)
+                .expect("non-empty graph");
+            res.completed.then_some(res.steps)
+        })
+        .collect();
+    aggregate(times)
+}
+
+/// Fast-path variant of [`run_cover_trials`]: drives the process through
+/// the monomorphized frontier engine ([`CoverDriver::run_typed`]), which
+/// produces bit-identical outcomes on the same plan while skipping all
+/// per-step virtual dispatch. Prefer this whenever the process type is
+/// statically known; keep [`run_cover_trials`] for heterogeneous
+/// `&dyn Process` experiment tables.
+pub fn run_cover_trials_typed<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let times: Vec<Option<usize>> = (0..plan.trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let res = CoverDriver::new(g)
+                .run_typed(process, start, plan.max_steps, &mut rng)
                 .expect("non-empty graph");
             res.completed.then_some(res.steps)
         })
@@ -95,9 +135,9 @@ pub fn run_cover_trials(
 
 /// Measure hitting times `start → target` of `process` over
 /// `plan.trials` independent runs (parallel).
-pub fn run_hitting_trials(
+pub fn run_hitting_trials<P: Process + ?Sized>(
     g: &Graph,
-    process: &dyn Process,
+    process: &P,
     start: Vertex,
     target: Vertex,
     plan: &TrialPlan,
@@ -107,7 +147,29 @@ pub fn run_hitting_trials(
         .into_par_iter()
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
-            let res = HittingDriver::new(g).run(process, start, target, plan.max_steps, &mut rng);
+            let res = HittingDriver::new(g).run(&process, start, target, plan.max_steps, &mut rng);
+            res.hit.then_some(res.steps)
+        })
+        .collect();
+    aggregate(times)
+}
+
+/// Fast-path variant of [`run_hitting_trials`] through
+/// [`HittingDriver::run_typed`]; bit-identical outcomes on the same plan.
+pub fn run_hitting_trials_typed<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    target: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let times: Vec<Option<usize>> = (0..plan.trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let res =
+                HittingDriver::new(g).run_typed(process, start, target, plan.max_steps, &mut rng);
             res.hit.then_some(res.steps)
         })
         .collect();
@@ -168,6 +230,70 @@ mod tests {
         assert_eq!(out.censored, 10);
         assert_eq!(out.summary.count(), 0);
         assert_eq!(out.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn all_censored_is_an_explicit_error_not_a_panic() {
+        // A 10-step budget cannot cover a 60-path: every trial censors,
+        // and the checked accessor reports that as a value.
+        let g = classic::path(60).unwrap();
+        let plan = TrialPlan::new(8, 10, 3);
+        let out = run_cover_trials(&g, &SimpleWalk::new(), 0, &plan);
+        assert_eq!(out.censored, 8);
+        assert!(matches!(
+            out.completed_summary(),
+            Err(crate::stats::EmptySummary)
+        ));
+        assert_eq!(out.summary.try_mean(), Err(crate::stats::EmptySummary));
+    }
+
+    #[test]
+    fn censored_trials_never_pollute_summary() {
+        // Budget near the median cover time → a mix of completed and
+        // censored trials. The summary must contain exactly the completed
+        // trials' values: rebuild them serially from the same per-trial
+        // seeds and compare moments bitwise.
+        let g = classic::cycle(16).unwrap();
+        let plan = TrialPlan::new(60, 120, 11);
+        let out = run_cover_trials(&g, &SimpleWalk::new(), 0, &plan);
+        assert!(out.censored > 0, "expected some censored trials");
+        assert!(out.summary.count() > 0, "expected some completed trials");
+        assert_eq!(out.summary.count() + out.censored, plan.trials);
+
+        let seq = SeedSequence::new(plan.master_seed);
+        let mut completed = Vec::new();
+        for i in 0..plan.trials {
+            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let res = CoverDriver::new(&g)
+                .run(&SimpleWalk::new(), 0, plan.max_steps, &mut rng)
+                .unwrap();
+            if res.completed {
+                completed.push(res.steps as f64);
+            }
+        }
+        let oracle = Summary::from_slice(&completed);
+        assert_eq!(out.summary.count(), oracle.count());
+        assert_eq!(out.summary.mean(), oracle.mean());
+        assert_eq!(out.summary.median(), oracle.median());
+        assert_eq!(out.summary.max(), oracle.max());
+        assert!(out.summary.max() <= plan.max_steps as f64);
+    }
+
+    #[test]
+    fn typed_trials_match_dyn_trials_bitwise() {
+        let g = classic::complete(16).unwrap();
+        let plan = TrialPlan::new(32, 10_000, 21);
+        let cobra = CobraWalk::standard();
+        let a = run_cover_trials(&g, &cobra, 0, &plan);
+        let b = run_cover_trials_typed(&g, &cobra, 0, &plan);
+        assert_eq!(a.censored, b.censored);
+        assert_eq!(a.summary.count(), b.summary.count());
+        assert_eq!(a.summary.mean(), b.summary.mean());
+        assert_eq!(a.summary.median(), b.summary.median());
+        let h_dyn = run_hitting_trials(&g, &cobra, 0, 9, &plan);
+        let h_typed = run_hitting_trials_typed(&g, &cobra, 0, 9, &plan);
+        assert_eq!(h_dyn.summary.mean(), h_typed.summary.mean());
+        assert_eq!(h_dyn.censored, h_typed.censored);
     }
 
     #[test]

@@ -1,5 +1,19 @@
 //! Summary statistics: Welford online moments, quantiles, and CIs.
 
+/// Error: a statistic was requested from a summary with zero observations
+/// (e.g. every trial of a batch was censored). Surfacing this as a value
+/// instead of a panic/NaN lets sweep code skip or report empty cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptySummary;
+
+impl std::fmt::Display for EmptySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "summary contains no observations (all trials censored?)")
+    }
+}
+
+impl std::error::Error for EmptySummary {}
+
 /// Summary statistics over a sample of f64 measurements.
 #[derive(Clone, Debug)]
 pub struct Summary {
@@ -57,6 +71,16 @@ impl Summary {
     pub fn mean(&self) -> f64 {
         assert!(self.count > 0, "mean of empty summary");
         self.mean
+    }
+
+    /// Sample mean as a checked result: `Err(EmptySummary)` on zero
+    /// observations instead of a panic.
+    pub fn try_mean(&self) -> Result<f64, EmptySummary> {
+        if self.count == 0 {
+            Err(EmptySummary)
+        } else {
+            Ok(self.mean)
+        }
     }
 
     /// Unbiased sample variance (0 for a single observation).

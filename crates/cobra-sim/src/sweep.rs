@@ -5,7 +5,10 @@
 //! `(scale, statistics…)` pairs that render straight into CSV/Markdown
 //! (see [`crate::table`]) and feed the fitters in `cobra-analysis`.
 
-use crate::stats::Summary;
+use crate::runner::{run_cover_trials_typed, TrialPlan};
+use crate::stats::{EmptySummary, Summary};
+use cobra_core::TypedProcess;
+use cobra_graph::{Graph, Vertex};
 
 /// One row of a sweep: a scale point plus measured statistics.
 #[derive(Clone, Debug)]
@@ -29,18 +32,32 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
-    /// Build a row from a scale and a summary.
+    /// Build a row from a scale and a summary. Panics on an empty summary;
+    /// use [`SweepRow::try_from_summary`] when total censoring is a
+    /// reachable condition.
     pub fn from_summary(scale: f64, summary: &Summary, censored: usize) -> Self {
-        SweepRow {
+        SweepRow::try_from_summary(scale, summary, censored)
+            .expect("SweepRow::from_summary on a summary with no completed trials")
+    }
+
+    /// Build a row from a scale and a summary, or `Err(EmptySummary)` when
+    /// the summary holds no completed trials (e.g. the whole cell was
+    /// censored by a too-small step budget).
+    pub fn try_from_summary(
+        scale: f64,
+        summary: &Summary,
+        censored: usize,
+    ) -> Result<Self, EmptySummary> {
+        summary.try_mean().map(|mean| SweepRow {
             scale,
             context: Vec::new(),
-            mean: summary.mean(),
+            mean,
             stderr: summary.stderr(),
             median: summary.median(),
             p95: summary.quantile(0.95),
             trials: summary.count(),
             censored,
-        }
+        })
     }
 
     /// Attach a named context value (builder style).
@@ -97,6 +114,38 @@ impl SweepTable {
     }
 }
 
+/// Run a cover-time sweep through the monomorphized frontier engine: one
+/// row per `(scale, graph, start)` cell, each measured with
+/// [`run_cover_trials_typed`] under a per-cell child seed of
+/// `plan.master_seed` (so cells are decorrelated but the whole sweep is
+/// reproducible from one master seed).
+///
+/// Returns `Err(EmptySummary)` if any cell completes zero trials — a
+/// budget bug that would otherwise surface as a panic deep in the stats.
+pub fn run_cover_sweep<P: TypedProcess + Sync>(
+    label: impl Into<String>,
+    scale_name: impl Into<String>,
+    cells: impl IntoIterator<Item = (f64, Graph, Vertex)>,
+    process: &P,
+    plan: &TrialPlan,
+) -> Result<SweepTable, EmptySummary> {
+    let mut table = SweepTable::new(label, scale_name);
+    let master = crate::seeds::SeedSequence::new(plan.master_seed);
+    for (cell_idx, (scale, graph, start)) in cells.into_iter().enumerate() {
+        let cell_plan = TrialPlan {
+            master_seed: master.child(cell_idx as u64).seed_at(0),
+            ..*plan
+        };
+        let out = run_cover_trials_typed(&graph, process, start, &cell_plan);
+        table.push(SweepRow::try_from_summary(
+            scale,
+            &out.summary,
+            out.censored,
+        )?);
+    }
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +172,39 @@ mod tests {
             .with_context("d", 3.0);
         assert_eq!(r.context.len(), 2);
         assert_eq!(r.context[0], ("phi".to_string(), 0.25));
+    }
+
+    #[test]
+    fn try_from_summary_reports_empty_cells() {
+        let err = SweepRow::try_from_summary(10.0, &Summary::new(), 5);
+        assert_eq!(err.unwrap_err(), EmptySummary);
+        let ok = SweepRow::try_from_summary(10.0, &sample_summary(), 1).unwrap();
+        assert_eq!(ok.trials, 5);
+    }
+
+    #[test]
+    fn cover_sweep_produces_one_row_per_cell() {
+        use cobra_core::CobraWalk;
+        use cobra_graph::generators::classic;
+        let cells = [8usize, 12, 16].map(|n| (n as f64, classic::cycle(n).unwrap(), 0u32));
+        let plan = TrialPlan::new(10, 100_000, 7);
+        let t =
+            run_cover_sweep("cobra on cycle", "n", cells, &CobraWalk::standard(), &plan).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.scales(), vec![8.0, 12.0, 16.0]);
+        assert_eq!(t.total_censored(), 0);
+        assert!(t.means().iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn cover_sweep_surfaces_budget_starvation_as_error() {
+        use cobra_core::SimpleWalk;
+        use cobra_graph::generators::classic;
+        // 3 steps cannot cover a 50-path: the sweep must error, not panic.
+        let cells = [(50.0, classic::path(50).unwrap(), 0u32)];
+        let plan = TrialPlan::new(5, 3, 1);
+        let err = run_cover_sweep("rw on path", "n", cells, &SimpleWalk::new(), &plan);
+        assert_eq!(err.unwrap_err(), EmptySummary);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Seed-equivalence harness for the hybrid frontier engine.
+//!
+//! The monomorphized fast path (`CoverDriver::run_typed` /
+//! `HittingDriver::run_typed`, backed by the sparse/dense
+//! [`cobra_repro::walks::Frontier`]) must produce **bit-for-bit identical**
+//! results to the legacy `Box<dyn ProcessState>` path on the same
+//! [`SeedSequence`]-derived seeds — not just statistical agreement. Both
+//! routes instantiate the same generic step code, so any divergence here
+//! means the engine changed *what* is computed, not just how fast.
+//!
+//! Matrix: every process family of the paper (cobra k ∈ {1,2,3}, simple
+//! walk, Walt, SIS, push/pull/push-pull gossip) × four graph shapes
+//! (grid, cycle, star, Chung-Lu power-law) × several derived seeds, for
+//! both cover and hitting measurements, with trajectories recorded so the
+//! per-round support sizes are compared too.
+
+use cobra_repro::graph::generators::{chung_lu, classic, grid};
+use cobra_repro::graph::Graph;
+use cobra_repro::sim::SeedSequence;
+use cobra_repro::walks::{
+    CobraWalk, CoverDriver, HittingDriver, PullGossip, PushGossip, PushPullGossip, SimpleWalk,
+    SisProcess, TypedProcess, WaltProcess,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_STEPS: usize = 20_000;
+
+/// The graph zoo. Chung-Lu instances are regenerated (deterministically)
+/// until minimum degree ≥ 1 so degree-0 vertices cannot trip the
+/// pull-gossip polling loop.
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let seq = SeedSequence::new(0xF2011713);
+    let chung_lu_graph = (0..u64::MAX)
+        .map(|attempt| {
+            let mut rng = StdRng::seed_from_u64(seq.child(attempt).seed_at(0));
+            chung_lu(200, 2.5, 8.0, &mut rng).expect("chung-lu generation")
+        })
+        .find(|g| g.min_degree() >= 1)
+        .expect("a Chung-Lu instance with min degree >= 1");
+    vec![
+        ("grid-8x8", grid::grid(&[7, 7])),
+        ("cycle-48", classic::cycle(48).unwrap()),
+        ("star-33", classic::star(33).unwrap()),
+        ("chung-lu-200", chung_lu_graph),
+    ]
+}
+
+/// Seeds for one (process, graph) cell, derived the same way experiments
+/// derive theirs.
+fn cell_seeds(process_idx: u64, graph_idx: u64) -> Vec<u64> {
+    let seq = SeedSequence::new(0xE9).child(process_idx).child(graph_idx);
+    (0..3).map(|i| seq.seed_at(i)).collect()
+}
+
+/// Assert fast path ≡ dyn path for cover and hitting on every graph.
+fn assert_engine_equivalence<P: TypedProcess>(process_idx: u64, process: &P) {
+    for (graph_idx, (gname, g)) in graphs().into_iter().enumerate() {
+        let n = g.num_vertices();
+        let target = (n - 1) as u32;
+        for seed in cell_seeds(process_idx, graph_idx as u64) {
+            let label = format!("{} on {gname} (seed {seed:#x})", process.name());
+
+            let dyn_cover = CoverDriver::new(&g)
+                .record_trajectory()
+                .run(process, 0, MAX_STEPS, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let typed_cover = CoverDriver::new(&g)
+                .record_trajectory()
+                .run_typed(process, 0, MAX_STEPS, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(
+                dyn_cover, typed_cover,
+                "cover divergence for {label}: dyn {dyn_cover:?} vs typed {typed_cover:?}"
+            );
+
+            let dyn_hit = HittingDriver::new(&g).run(
+                process,
+                0,
+                target,
+                MAX_STEPS,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let typed_hit = HittingDriver::new(&g).run_typed(
+                process,
+                0,
+                target,
+                MAX_STEPS,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(
+                dyn_hit, typed_hit,
+                "hitting divergence for {label}: dyn {dyn_hit:?} vs typed {typed_hit:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cobra_walks_match_across_branching_factors() {
+    for (i, k) in [1u32, 2, 3].into_iter().enumerate() {
+        assert_engine_equivalence(i as u64, &CobraWalk::new(k));
+    }
+}
+
+#[test]
+fn simple_walk_matches() {
+    assert_engine_equivalence(10, &SimpleWalk::new());
+    assert_engine_equivalence(11, &SimpleWalk::lazy(0.3));
+}
+
+#[test]
+fn walt_matches() {
+    assert_engine_equivalence(20, &WaltProcess::standard(0.25));
+    assert_engine_equivalence(21, &WaltProcess::with_count(6).lazy(false));
+}
+
+#[test]
+fn sis_matches() {
+    // Supercritical (covers), critical-ish, and exactly-cobra (p = 1).
+    assert_engine_equivalence(30, &SisProcess::new(2, 1.0));
+    assert_engine_equivalence(31, &SisProcess::new(2, 0.8));
+    assert_engine_equivalence(32, &SisProcess::new(3, 0.4));
+}
+
+#[test]
+fn gossip_matches() {
+    assert_engine_equivalence(40, &PushGossip);
+    assert_engine_equivalence(41, &PullGossip);
+    assert_engine_equivalence(42, &PushPullGossip);
+}

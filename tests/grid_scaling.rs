@@ -1,0 +1,50 @@
+//! Statistical regression pin for Theorem 3: the 2-cobra walk covers the
+//! grid `[0,n]^d` in O(n) rounds — linear in the side extent `n` (the
+//! paper's convention; the grid has `(n+1)^d` vertices). A power-law fit
+//! of mean cover time against the side extent must therefore have
+//! exponent ≈ 1 in d = 2 (empirically ≈ 0.95 at these sizes).
+//!
+//! Lives in the high-trial `#[ignore]` tier (run via
+//! `cargo test -- --ignored`) like the other Monte-Carlo suites; the sweep
+//! itself goes through the typed frontier engine (`run_cover_sweep`), so
+//! this doubles as an end-to-end exercise of the fast path at scale.
+
+use cobra_repro::analysis::fit::power_law_fit;
+use cobra_repro::graph::generators::grid;
+use cobra_repro::sim::runner::TrialPlan;
+use cobra_repro::sim::sweep::run_cover_sweep;
+use cobra_repro::walks::CobraWalk;
+
+#[test]
+#[ignore = "high-trial Monte-Carlo tier"]
+fn two_cobra_grid_cover_scales_linearly_in_n() {
+    // Side extents n give (n+1)² vertices: 81 … 1089.
+    let cells = [8usize, 12, 16, 24, 32]
+        .into_iter()
+        .map(|n| (n as f64, grid::grid(&[n, n]), 0u32));
+    let plan = TrialPlan::new(24, 1_000_000, 0xC0B7A);
+    let table = run_cover_sweep(
+        "cobra(k=2) on grid(d=2)",
+        "side extent n",
+        cells,
+        &CobraWalk::standard(),
+        &plan,
+    )
+    .expect("no cell may censor out at this budget");
+    assert_eq!(table.total_censored(), 0, "budget must dominate cover time");
+
+    let fit = power_law_fit(&table.scales(), &table.means());
+    assert!(
+        (0.8..=1.3).contains(&fit.slope),
+        "cover-time exponent {:.3} outside the O(n) window [0.8, 1.3] \
+         (R² = {:.3}, means = {:?})",
+        fit.slope,
+        fit.r_squared,
+        table.means()
+    );
+    assert!(
+        fit.r_squared > 0.95,
+        "power-law fit too loose: R² = {:.3}",
+        fit.r_squared
+    );
+}
