@@ -11,32 +11,32 @@
 
 use cobra_bench::report::{banner, classify_and_report, emit_table, fit_and_report, verdict};
 use cobra_bench::{ExpConfig, Family};
-use cobra_core::{CobraWalk, SimpleWalk};
-use cobra_sim::runner::{run_cover_trials, TrialPlan};
-use cobra_sim::sweep::{SweepRow, SweepTable};
+use cobra_core::{CobraWalk, SimpleWalk, TypedProcess};
+use cobra_sim::runner::TrialPlan;
+use cobra_sim::sweep::{run_cover_sweep_cells, SweepCell, SweepTable};
 
-fn sweep_cover(
+/// Sweep through the typed scratch engine: one [`SweepCell`] per scale,
+/// each carrying its own `budget_for(scale)` step budget, with per-cell
+/// seeds derived from the sweep master.
+fn sweep_cover<P: TypedProcess + Sync>(
     cfg: &ExpConfig,
     family: Family,
-    process: &dyn cobra_core::Process,
+    process: &P,
     scales: &[usize],
     trials: usize,
     budget_for: impl Fn(usize) -> usize,
     label: &str,
 ) -> SweepTable {
-    let mut table = SweepTable::new(label.to_string(), "n");
-    for (i, &scale) in scales.iter().enumerate() {
+    // Lazy cell iterator: only one cell's graph is alive at a time, as in
+    // the pre-sweep loop.
+    let cells = scales.iter().enumerate().map(|(i, &scale)| {
         let g = family.build(scale, cfg.seed ^ (i as u64) << 8);
         let start = family.adversarial_start(&g);
-        let plan = TrialPlan::new(trials, budget_for(scale), cfg.seed.wrapping_add(i as u64));
-        let out = run_cover_trials(&g, process, start, &plan);
-        table.push(SweepRow::from_summary(
-            scale as f64,
-            &out.summary,
-            out.censored,
-        ));
-    }
-    table
+        SweepCell::new(scale as f64, g, start).with_budget(budget_for(scale))
+    });
+    let plan = TrialPlan::new(trials, 1, cfg.seed); // budget comes per cell
+    run_cover_sweep_cells(label.to_string(), "n", cells, process, &plan)
+        .expect("a sweep cell completed zero trials — raise the step budget")
 }
 
 fn main() {

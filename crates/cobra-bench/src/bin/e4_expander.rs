@@ -13,8 +13,8 @@ use cobra_analysis::growth::{classify_growth, GrowthShape};
 use cobra_bench::report::{banner, emit_table, verdict};
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::{CobraWalk, SimpleWalk};
-use cobra_sim::runner::{run_cover_trials, TrialPlan};
-use cobra_sim::sweep::{SweepRow, SweepTable};
+use cobra_sim::runner::TrialPlan;
+use cobra_sim::sweep::{run_cover_sweep_cells, SweepCell};
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -34,17 +34,27 @@ fn main() {
     let mut all_pass = true;
     for d in [3usize, 4] {
         let fam = Family::RandomRegular { d };
-        let mut table = SweepTable::new(format!("cobra(k=2) on {}", fam.name()), "n");
-        for (i, &n) in ns.iter().enumerate() {
+        // Typed scratch-engine sweep: one cell per n, each with its own
+        // `O(log²n)` budget, exactly as the pre-sweep loop sized them.
+        // Lazy iterator so only one cell's graph is alive at a time.
+        let cells = ns.iter().enumerate().map(|(i, &n)| {
             let g = fam.build(n, cfg.seed ^ ((d as u64) << 20) ^ ((i as u64) << 4));
             let logn = (g.num_vertices() as f64).ln();
             let budget = (300.0 * logn * logn) as usize + 5_000;
-            let plan = TrialPlan::new(trials, budget, cfg.seed.wrapping_add((d * 100 + i) as u64));
-            let out = run_cover_trials(&g, &cobra, 0, &plan);
-            table.push(
-                SweepRow::from_summary(g.num_vertices() as f64, &out.summary, out.censored)
-                    .with_context("log2n", logn * logn),
-            );
+            SweepCell::new(g.num_vertices() as f64, g, 0u32).with_budget(budget)
+        });
+        let plan = TrialPlan::new(trials, 1, cfg.seed.wrapping_add((d * 100) as u64));
+        let mut table = run_cover_sweep_cells(
+            format!("cobra(k=2) on {}", fam.name()),
+            "n",
+            cells,
+            &cobra,
+            &plan,
+        )
+        .expect("an expander sweep cell completed zero trials — raise the budget");
+        for row in &mut table.rows {
+            let logn = row.scale.ln();
+            row.context.push(("log2n".to_string(), logn * logn));
         }
         emit_table(&cfg, &table, &format!("e4_cobra_d{d}"));
 
@@ -78,15 +88,21 @@ fn main() {
         vec![64usize, 128, 256, 512],
         vec![128, 256, 512, 1024, 2048],
     );
-    let mut rw_table = SweepTable::new("simple-rw on random-regular(d=3)", "n");
-    for (i, &n) in rw_ns.iter().enumerate() {
+    let rw_cells = rw_ns.iter().enumerate().map(|(i, &n)| {
         let g = fam.build(n, cfg.seed ^ ((i as u64) << 4));
         let nn = g.num_vertices() as f64;
         let budget = (200.0 * nn * nn.ln()) as usize + 10_000;
-        let plan = TrialPlan::new(trials, budget, cfg.seed.wrapping_add(9000 + i as u64));
-        let out = run_cover_trials(&g, &SimpleWalk::new(), 0, &plan);
-        rw_table.push(SweepRow::from_summary(nn, &out.summary, out.censored));
-    }
+        SweepCell::new(nn, g, 0u32).with_budget(budget)
+    });
+    let rw_plan = TrialPlan::new(trials, 1, cfg.seed.wrapping_add(9000));
+    let rw_table = run_cover_sweep_cells(
+        "simple-rw on random-regular(d=3)",
+        "n",
+        rw_cells,
+        &SimpleWalk::new(),
+        &rw_plan,
+    )
+    .expect("a contrast sweep cell completed zero trials — raise the budget");
     emit_table(&cfg, &rw_table, "e4_rw_d3");
     let (rw_shape, _) = classify_growth(&rw_table.scales(), &rw_table.means());
     println!("simple-rw growth classification: {}", rw_shape.name());

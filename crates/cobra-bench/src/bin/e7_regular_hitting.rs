@@ -21,7 +21,7 @@ use cobra_core::biased::{return_time_bound, MetropolisWalk};
 use cobra_core::process::Process;
 use cobra_core::{BiasedWalk, CobraWalk, SimpleWalk};
 use cobra_graph::metrics::farthest_vertex;
-use cobra_sim::runner::{run_hitting_trials, TrialPlan};
+use cobra_sim::runner::{run_hitting_trials, run_hitting_trials_typed, TrialPlan};
 use cobra_sim::seeds::SeedSequence;
 use cobra_sim::sweep::{SweepRow, SweepTable};
 use rand::rngs::StdRng;
@@ -56,7 +56,9 @@ fn main() {
         let start = 0u32;
         let (target, _) = farthest_vertex(&g, start);
         let budget = 400 * n * n + 100_000;
-        let out_c = run_hitting_trials(
+        // Cobra side on the typed scratch engine; the biased walk keeps
+        // the dyn route (its controller state is not `TypedProcess`).
+        let out_c = run_hitting_trials_typed(
             &g,
             &cobra,
             start,
@@ -100,7 +102,7 @@ fn main() {
         let g = Family::Cycle.build(n, 0);
         let target = (n / 2) as u32;
         let budget = 100 * n * n + 50_000;
-        let out_c = run_hitting_trials(
+        let out_c = run_hitting_trials_typed(
             &g,
             &cobra,
             0,
@@ -112,7 +114,7 @@ fn main() {
             &out_c.summary,
             out_c.censored,
         ));
-        let out_r = run_hitting_trials(
+        let out_r = run_hitting_trials_typed(
             &g,
             &SimpleWalk::new(),
             0,

@@ -14,7 +14,7 @@
 //! `k = 2`.
 
 use crate::frontier::Frontier;
-use crate::process::{sample_index, Process, ProcessState, TypedProcess, TypedState};
+use crate::process::{DrawOnTheFly, NeighborDraw, Process, ProcessState, TypedProcess, TypedState};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -69,6 +69,22 @@ impl TypedProcess for CobraWalk {
             occ: vec![start],
         }
     }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut CobraState) {
+        let n = g.num_vertices();
+        if state.cur.capacity() != n {
+            *state = self.spawn_typed(g, start);
+            return;
+        }
+        assert!((start as usize) < n, "start vertex in range");
+        state.k = self.branching_factor;
+        crate::frontier::reinit_frontier_run(
+            &mut state.cur,
+            &mut state.next,
+            &mut state.occ,
+            start,
+        );
+    }
 }
 
 /// Mutable state of a running cobra walk: the active set as a hybrid
@@ -92,21 +108,23 @@ pub struct CobraState {
 
 impl CobraState {
     /// One round of the cobra dynamics: `k` uniform out-choices per active
-    /// vertex, deduplicated into the next frontier through the branch-free
+    /// vertex (through a [`NeighborDraw`] strategy — all strategies are
+    /// stream-compatible, so every route makes the same draws),
+    /// deduplicated into the next frontier through the branch-free
     /// quiet-insert path. `MAINTAIN_OCC` is compile-time so the dyn route
     /// rematerializes its `occupied()` slice after the round while the
     /// fast route drops that bookkeeping entirely — same draws either way.
     #[inline]
-    fn advance<const MAINTAIN_OCC: bool, R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+    fn advance<const MAINTAIN_OCC: bool, D: NeighborDraw, R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        draw: &D,
+        rng: &mut R,
+    ) {
         let CobraState { k, cur, next, occ } = self;
         next.clear();
         cur.for_each(|v| {
-            let ns = g.neighbors(v);
-            debug_assert!(!ns.is_empty(), "cobra walk requires min degree >= 1");
-            for _ in 0..*k {
-                let u = ns[sample_index(ns.len(), rng)];
-                next.insert_quiet(u);
-            }
+            draw.draw_many(g, v, *k, rng, |u| next.insert_quiet(u));
         });
         next.finalize_len();
         if MAINTAIN_OCC {
@@ -119,11 +137,15 @@ impl CobraState {
 
 impl TypedState for CobraState {
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<true, R>(g, rng);
+        self.advance::<true, _, R>(g, &DrawOnTheFly, rng);
     }
 
     fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<false, R>(g, rng);
+        self.advance::<false, _, R>(g, &DrawOnTheFly, rng);
+    }
+
+    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+        self.advance::<false, D, R>(g, draw, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {

@@ -190,7 +190,11 @@ impl Frontier {
     }
 
     /// Remove all members and return to the sparse representation.
-    /// Per-member bit clears while sparse; O(n/64) word fill once dense.
+    /// Per-member bit clears while sparse; O(n/64) word fill once dense —
+    /// which is still O(dirty): the dense switch only fires at
+    /// `len ≥ max(8, n/64)`, so a dense frontier has at least as many
+    /// members as the bitset has words. Trial-scratch reuse therefore
+    /// never pays more to clear than the run paid to fill.
     pub fn clear(&mut self) {
         if self.dense {
             self.words.fill(0);
@@ -266,15 +270,50 @@ impl Frontier {
     }
 }
 
-/// Monotone coverage bitmask with popcount-tracked cardinality.
+/// Reinitialize a frontier-pair walk state (cobra, scheduled cobra, SIS)
+/// for a new run from `start`: O(dirty) clears of both frontiers, the
+/// start re-seeded, the occupied slice rebuilt — exactly the observable
+/// state `spawn_typed` produces. One shared body so the three
+/// `respawn_typed` impls cannot drift from the spawn shape independently.
+/// Callers have already checked the capacity matches the graph.
+pub(crate) fn reinit_frontier_run(
+    cur: &mut Frontier,
+    next: &mut Frontier,
+    occ: &mut Vec<Vertex>,
+    start: Vertex,
+) {
+    cur.clear();
+    cur.insert(start);
+    next.clear();
+    occ.clear();
+    occ.push(start);
+}
+
+/// Monotone coverage bitmask with popcount-tracked cardinality and an
+/// epoch-stamped, O(dirty-words) [`CoverageMask::reset`].
 ///
 /// The cover-time drivers union each round's frontier into this mask and
 /// stop at full coverage. Unlike [`Frontier`] it never shrinks and is
 /// usually a constant fraction of `n` for most of a run, so it is dense
 /// from the start.
+///
+/// **Reset strategy.** The batched trial engine reuses one mask across a
+/// worker's whole chunk of trials, so clearing must not cost O(n/64)
+/// words per trial when a trial touched only a few (short hitting runs,
+/// early-extinction SIS). Each word therefore carries an epoch stamp: a
+/// word's bits are valid only while its stamp matches the mask's current
+/// epoch, and [`CoverageMask::reset`] just bumps the epoch — O(1), no
+/// re-zeroing. Writers lazily refresh a stale word (one predictable
+/// compare per touched word) before OR-ing into it; on the extremely rare
+/// `u32` epoch wrap, everything is re-zeroed once for real.
 #[derive(Clone, Debug)]
 pub struct CoverageMask {
     words: Vec<u64>,
+    /// Per-word epoch stamps; `words[w]` is garbage unless
+    /// `word_epoch[w] == epoch`.
+    word_epoch: Vec<u32>,
+    /// Current epoch; 0 is reserved so freshly built stamps read as stale.
+    epoch: u32,
     n: usize,
     covered: usize,
 }
@@ -284,9 +323,17 @@ impl CoverageMask {
     pub fn new(n: usize) -> Self {
         CoverageMask {
             words: vec![0; word_count(n)],
+            word_epoch: vec![0; word_count(n)],
+            epoch: 1,
             n,
             covered: 0,
         }
+    }
+
+    /// Size of the id space this mask covers.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.n
     }
 
     /// Number of covered vertices.
@@ -301,18 +348,54 @@ impl CoverageMask {
         self.covered == self.n
     }
 
+    /// Un-cover everything in O(1): bump the epoch so every word reads as
+    /// stale. Actual zeroing happens lazily, only for words the next run
+    /// touches (O(dirty words) total), except at `u32` epoch wraparound
+    /// where one genuine re-zero keeps stale stamps from aliasing.
+    pub fn reset(&mut self) {
+        self.covered = 0;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.words.fill(0);
+            self.word_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// The current value of word `w` (0 if its stamp is stale).
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        if self.word_epoch[w] == self.epoch {
+            self.words[w]
+        } else {
+            0
+        }
+    }
+
+    /// Mutable access to word `w`, refreshing it to the current epoch
+    /// (zeroing stale contents) first.
+    #[inline]
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        if self.word_epoch[w] != self.epoch {
+            self.word_epoch[w] = self.epoch;
+            self.words[w] = 0;
+        }
+        &mut self.words[w]
+    }
+
     /// Whether `v` is covered.
     #[inline]
     pub fn contains(&self, v: Vertex) -> bool {
         let i = v as usize;
-        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+        self.word(i >> 6) & (1u64 << (i & 63)) != 0
     }
 
-    /// Mark one vertex (branchless); returns `true` if newly covered.
+    /// Mark one vertex; returns `true` if newly covered. One predictable
+    /// stamp check, otherwise branchless.
     #[inline]
     pub fn mark(&mut self, v: Vertex) -> bool {
         let i = v as usize;
-        let word = &mut self.words[i >> 6];
+        let word = self.word_mut(i >> 6);
         let bit = 1u64 << (i & 63);
         let newly = *word & bit == 0;
         *word |= bit;
@@ -343,10 +426,18 @@ impl CoverageMask {
                 }
             }
             None => {
+                let epoch = self.epoch;
                 let mut added = 0u32;
-                for (mine, &w) in self.words.iter_mut().zip(f.as_words()) {
-                    added += (w & !*mine).count_ones();
-                    *mine |= w;
+                for ((mine, stamp), &w) in self
+                    .words
+                    .iter_mut()
+                    .zip(self.word_epoch.iter_mut())
+                    .zip(f.as_words())
+                {
+                    let cur = if *stamp == epoch { *mine } else { 0 };
+                    added += (w & !cur).count_ones();
+                    *mine = cur | w;
+                    *stamp = epoch;
                 }
                 self.covered += added as usize;
             }
@@ -492,6 +583,60 @@ mod tests {
     }
 
     #[test]
+    fn coverage_reset_uncovers_everything() {
+        let mut c = CoverageMask::new(200);
+        c.mark_slice(&[0, 5, 64, 199]);
+        assert_eq!(c.count(), 4);
+        c.reset();
+        assert_eq!(c.count(), 0);
+        for v in [0u32, 5, 64, 199] {
+            assert!(!c.contains(v), "vertex {v} survived reset");
+        }
+        // Stale words must behave as zero for every operation.
+        assert_eq!(c.mark_slice(&[5, 5, 64]), 2);
+        let mut f = Frontier::new(200);
+        for v in 0..200u32 {
+            f.insert(v);
+        }
+        assert!(f.is_dense());
+        assert_eq!(c.union_frontier(&f), 198);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn coverage_reset_interleaves_with_runs() {
+        // Many reset cycles with different touch patterns: lazily-refreshed
+        // words must never leak bits from a previous epoch.
+        let mut c = CoverageMask::new(320);
+        for round in 0..50u32 {
+            let stride = (round % 7 + 1) as usize;
+            let mut marked = Vec::new();
+            for v in (0..320).step_by(stride) {
+                c.mark(v as u32);
+                marked.push(v as u32);
+            }
+            assert_eq!(c.count(), marked.len());
+            for v in 0..320u32 {
+                assert_eq!(c.contains(v), marked.contains(&v), "round {round}, v {v}");
+            }
+            c.reset();
+        }
+    }
+
+    #[test]
+    fn coverage_epoch_wrap_is_safe() {
+        let mut c = CoverageMask::new(70);
+        c.mark(3);
+        c.epoch = u32::MAX;
+        // Re-stamp under the pinned epoch, then force the wrap.
+        c.reset();
+        assert_eq!(c.epoch, 1, "wrap must land back on epoch 1");
+        assert!(!c.contains(3));
+        assert!(c.mark(3));
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
     fn coverage_union_matches_mark_slice() {
         let mut f = Frontier::new(300);
         for v in (0..300u32).step_by(3) {
@@ -590,7 +735,8 @@ mod tests {
         }
 
         /// The coverage mask agrees with a `HashSet` oracle when fed a mix
-        /// of slice marks and frontier unions (sparse and dense).
+        /// of slice marks, frontier unions (sparse and dense), and epoch
+        /// resets (every fifth batch, exercising lazy word refresh).
         #[test]
         fn coverage_matches_hashset_oracle(batches in proptest::collection::vec(
             proptest::collection::vec(0u32..400, 0..60), 1..20))
@@ -599,6 +745,10 @@ mod tests {
             let mut mask = CoverageMask::new(n);
             let mut oracle: HashSet<u32> = HashSet::new();
             for (i, batch) in batches.iter().enumerate() {
+                if i % 5 == 4 {
+                    mask.reset();
+                    oracle.clear();
+                }
                 let newly_oracle = batch.iter().filter(|&&v| oracle.insert(v)).count();
                 if i % 2 == 0 {
                     prop_assert_eq!(mask.mark_slice(batch), newly_oracle);

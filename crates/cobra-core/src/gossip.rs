@@ -54,6 +54,10 @@ impl TypedProcess for PushGossip {
     fn spawn_typed(&self, g: &Graph, start: Vertex) -> GossipState {
         GossipState::new(g, start, Mode::Push)
     }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut GossipState) {
+        state.reinit(g, start, Mode::Push);
+    }
 }
 
 impl Process for PullGossip {
@@ -72,6 +76,10 @@ impl TypedProcess for PullGossip {
     fn spawn_typed(&self, g: &Graph, start: Vertex) -> GossipState {
         GossipState::new(g, start, Mode::Pull)
     }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut GossipState) {
+        state.reinit(g, start, Mode::Pull);
+    }
 }
 
 impl Process for PushPullGossip {
@@ -89,6 +97,10 @@ impl TypedProcess for PushPullGossip {
 
     fn spawn_typed(&self, g: &Graph, start: Vertex) -> GossipState {
         GossipState::new(g, start, Mode::PushPull)
+    }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut GossipState) {
+        state.reinit(g, start, Mode::PushPull);
     }
 }
 
@@ -118,6 +130,26 @@ impl GossipState {
             fresh_from: 0,
             round: 0,
         }
+    }
+
+    /// Reinitialize for a new run: un-inform exactly the vertices that
+    /// were informed (O(dirty), no reallocation, no O(n) refill), then
+    /// re-seed `start`. Shared by the three gossip modes' `respawn_typed`.
+    fn reinit(&mut self, g: &Graph, start: Vertex, mode: Mode) {
+        if self.informed_at.len() != g.num_vertices() {
+            *self = GossipState::new(g, start, mode);
+            return;
+        }
+        assert!((start as usize) < g.num_vertices(), "start vertex in range");
+        for &v in &self.informed_list {
+            self.informed_at[v as usize] = NEVER;
+        }
+        self.informed_list.clear();
+        self.informed_at[start as usize] = 0;
+        self.informed_list.push(start);
+        self.mode = mode;
+        self.fresh_from = 0;
+        self.round = 0;
     }
 
     /// Number of informed vertices.

@@ -61,6 +61,7 @@ pub mod parallel_walks;
 pub mod process;
 pub mod queueing;
 pub mod schedule;
+pub mod scratch;
 pub mod simple;
 pub mod sis;
 pub mod trajectory;
@@ -76,9 +77,13 @@ pub use frontier::{CoverageMask, Frontier};
 pub use gossip::{PullGossip, PushGossip, PushPullGossip};
 pub use measure::{CoverDriver, CoverResult, HittingDriver, HittingResult};
 pub use parallel_walks::ParallelWalks;
-pub use process::{Process, ProcessState, TypedProcess, TypedState};
+pub use process::{
+    BoundDraw, DrawOnTheFly, NeighborDraw, Process, ProcessState, SliceDraw, TypedProcess,
+    TypedState,
+};
 pub use queueing::DriftChain;
 pub use schedule::{BranchingSchedule, ScheduledCobraWalk};
+pub use scratch::TrialScratch;
 pub use simple::SimpleWalk;
 pub use sis::SisProcess;
 pub use trajectory::{record_trajectory, Trajectory};

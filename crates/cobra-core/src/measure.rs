@@ -11,7 +11,8 @@
 //!   [`matthews_ratio`].
 
 use crate::frontier::CoverageMask;
-use crate::process::{Process, TypedProcess, TypedState};
+use crate::process::{NeighborDraw, Process, TypedProcess, TypedState};
+use crate::scratch::TrialScratch;
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -162,6 +163,74 @@ impl<'g> CoverDriver<'g> {
             trajectory,
         })
     }
+
+    /// Scratch-borrowing variant of [`CoverDriver::run_typed`] for the
+    /// batched trial engine: reuses the process state, coverage mask, and
+    /// trajectory buffer in `scratch` (O(dirty) reinitialization, zero
+    /// heap allocations once warm) and routes every neighbor draw through
+    /// `draw` (typically the per-graph
+    /// [`cobra_graph::NeighborSampler`]). All [`NeighborDraw`] strategies
+    /// are stream-compatible and `respawn` mirrors `spawn`, so results
+    /// are **bit-for-bit identical** to [`CoverDriver::run_typed`] on the
+    /// same seed — pinned by `tests/engine_equivalence.rs`.
+    ///
+    /// When trajectory recording is on, the trajectory is both returned
+    /// in the [`CoverResult`] (cloned) and left in
+    /// [`TrialScratch::trajectory`] (borrowed, allocation-free).
+    pub fn run_typed_in<P: TypedProcess, D: NeighborDraw, R: Rng + ?Sized>(
+        &self,
+        process: &P,
+        draw: &D,
+        scratch: &mut TrialScratch<P::State>,
+        start: Vertex,
+        max_steps: usize,
+        rng: &mut R,
+    ) -> Option<CoverResult> {
+        let n = self.g.num_vertices();
+        if n == 0 {
+            return None;
+        }
+        scratch.prepare(self.g, process, start);
+        let TrialScratch {
+            state,
+            covered,
+            trajectory,
+        } = scratch;
+        let state = state.as_mut().expect("prepare populated the state");
+        covered.mark_slice(state.occupied());
+        if covered.is_complete() {
+            return Some(CoverResult {
+                steps: 0,
+                covered: n,
+                completed: true,
+                trajectory: self.record_trajectory.then(|| trajectory.clone()),
+            });
+        }
+        for t in 1..=max_steps {
+            state.step_sampled(self.g, draw, rng);
+            match state.frontier() {
+                Some(f) => covered.union_frontier(f),
+                None => covered.mark_slice(state.occupied()),
+            };
+            if self.record_trajectory {
+                trajectory.push(state.support_size());
+            }
+            if covered.is_complete() {
+                return Some(CoverResult {
+                    steps: t,
+                    covered: n,
+                    completed: true,
+                    trajectory: self.record_trajectory.then(|| trajectory.clone()),
+                });
+            }
+        }
+        Some(CoverResult {
+            steps: max_steps,
+            covered: covered.count(),
+            completed: false,
+            trajectory: self.record_trajectory.then(|| trajectory.clone()),
+        })
+    }
 }
 
 /// Outcome of a hitting-time run.
@@ -239,6 +308,55 @@ impl<'g> HittingDriver<'g> {
         }
         for t in 1..=max_steps {
             state.step_fast(self.g, rng);
+            let hit = match state.frontier() {
+                Some(f) => f.contains(target),
+                None => state.occupied().contains(&target),
+            };
+            if hit {
+                return HittingResult {
+                    steps: t,
+                    hit: true,
+                };
+            }
+        }
+        HittingResult {
+            steps: max_steps,
+            hit: false,
+        }
+    }
+
+    /// Scratch-borrowing variant of [`HittingDriver::run_typed`] for the
+    /// batched trial engine: reuses the process state in `scratch` and
+    /// draws neighbors through `draw`. Bit-for-bit identical to
+    /// [`HittingDriver::run_typed`] on the same seed (the scratch's
+    /// coverage mask and trajectory buffer are untouched — hitting runs
+    /// only need the state).
+    #[allow(clippy::too_many_arguments)] // mirrors run_typed + (draw, scratch)
+    pub fn run_typed_in<P: TypedProcess, D: NeighborDraw, R: Rng + ?Sized>(
+        &self,
+        process: &P,
+        draw: &D,
+        scratch: &mut TrialScratch<P::State>,
+        start: Vertex,
+        target: Vertex,
+        max_steps: usize,
+        rng: &mut R,
+    ) -> HittingResult {
+        let state = match scratch.state {
+            Some(ref mut state) => {
+                process.respawn_typed(self.g, start, state);
+                state
+            }
+            None => scratch.state.insert(process.spawn_typed(self.g, start)),
+        };
+        if state.occupied().contains(&target) {
+            return HittingResult {
+                steps: 0,
+                hit: true,
+            };
+        }
+        for t in 1..=max_steps {
+            state.step_sampled(self.g, draw, rng);
             let hit = match state.frontier() {
                 Some(f) => f.contains(target),
                 None => state.occupied().contains(&target),

@@ -74,6 +74,17 @@ pub trait TypedProcess: Process {
     /// Create a fresh, unboxed run of the process (fast-path analogue of
     /// [`Process::spawn`]).
     fn spawn_typed(&self, g: &Graph, start: Vertex) -> Self::State;
+
+    /// Reinitialize an existing state for a new run from `start`,
+    /// producing a state observationally identical to
+    /// [`TypedProcess::spawn_typed`] — same configuration, same RNG
+    /// consumption from here on. The default rebuilds from scratch;
+    /// processes override it to reuse the state's buffers (O(dirty)
+    /// clears, zero heap traffic), which is what makes the batched trial
+    /// engine ([`crate::TrialScratch`]) allocation-free after warm-up.
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut Self::State) {
+        *state = self.spawn_typed(g, start);
+    }
 }
 
 /// Blanket impl so `&T` specifications keep the typed route too.
@@ -82,6 +93,10 @@ impl<T: TypedProcess> TypedProcess for &T {
 
     fn spawn_typed(&self, g: &Graph, start: Vertex) -> Self::State {
         (**self).spawn_typed(g, start)
+    }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut Self::State) {
+        (**self).respawn_typed(g, start, state)
     }
 }
 
@@ -118,12 +133,128 @@ pub trait TypedState {
         self.occupied().len()
     }
 
+    /// Advance one round on the fast path, drawing neighbors through
+    /// `draw` (a [`NeighborDraw`] strategy such as the per-graph
+    /// [`cobra_graph::NeighborSampler`] table). Must consume the same RNG
+    /// stream and reach the same state as [`TypedState::step_fast`] —
+    /// every [`NeighborDraw`] impl is stream-compatible, so the default
+    /// simply ignores `draw`; kernels whose inner loop is dominated by
+    /// neighbor draws override this to route them through the table.
+    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+        let _ = draw;
+        self.step_fast(g, rng)
+    }
+
     /// The hybrid sparse/dense frontier describing the occupied set, when
     /// the process maintains one (set-valued processes: cobra, SIS).
     /// Drivers use it for word-parallel coverage union and O(1)/O(log s)
     /// hit tests; `None` falls back to the [`TypedState::occupied`] slice.
     fn frontier(&self) -> Option<&crate::frontier::Frontier> {
         None
+    }
+}
+
+/// A strategy for drawing uniformly random neighbors.
+///
+/// All implementations are **stream-compatible**: on the same RNG state
+/// they make the same draws and consume the same number of `u64`s, so a
+/// kernel parameterized over `D: NeighborDraw` produces bit-identical runs
+/// whichever strategy drives it. [`DrawOnTheFly`] resolves the CSR slice
+/// per vertex (the spawn-anywhere default); [`cobra_graph::NeighborSampler`]
+/// is the table-driven fast path built once per graph.
+///
+/// Kernels call [`NeighborDraw::bind`] once per active vertex and draw
+/// repeatedly through the returned [`BoundDraw`], so per-vertex setup
+/// (slice bounds, table slot, threshold) is hoisted out of the draw loop
+/// for every strategy — including loops whose draws interleave with other
+/// randomness (SIS's per-contact transmission coins).
+pub trait NeighborDraw {
+    /// The per-vertex resolved drawer.
+    type Bound<'a>: BoundDraw
+    where
+        Self: 'a;
+
+    /// Resolve the per-vertex draw state for `v` once. Panics if `v` is
+    /// isolated.
+    fn bind<'a>(&'a self, g: &'a Graph, v: Vertex) -> Self::Bound<'a>;
+
+    /// Draw one uniformly random neighbor of `v`. Panics if `v` is
+    /// isolated.
+    #[inline]
+    fn draw_one<R: Rng + ?Sized>(&self, g: &Graph, v: Vertex, rng: &mut R) -> Vertex {
+        self.bind(g, v).draw(rng)
+    }
+
+    /// Draw `k` uniformly random neighbors of `v`, passing each to `sink`
+    /// in draw order; per-vertex setup is done once for the burst.
+    #[inline]
+    fn draw_many<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        v: Vertex,
+        k: u32,
+        rng: &mut R,
+        mut sink: impl FnMut(Vertex),
+    ) {
+        let bound = self.bind(g, v);
+        for _ in 0..k {
+            sink(bound.draw(rng));
+        }
+    }
+}
+
+/// A [`NeighborDraw`] resolved to one vertex: repeated draws with no
+/// per-draw re-resolution, stream-compatible across strategies.
+pub trait BoundDraw {
+    /// Draw one uniformly random neighbor of the bound vertex.
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Vertex;
+}
+
+/// The default [`NeighborDraw`]: resolve the neighbor slice per vertex,
+/// draw with [`sample_index`] (lazy rejection threshold) — exactly what
+/// [`random_neighbor`] / `ns[sample_index(ns.len(), rng)]` do. Used by
+/// the plain `step` routes so the sampled and unsampled kernels share one
+/// generic body.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DrawOnTheFly;
+
+/// [`DrawOnTheFly`] bound to one vertex's neighbor slice.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceDraw<'a> {
+    ns: &'a [Vertex],
+}
+
+impl NeighborDraw for DrawOnTheFly {
+    type Bound<'a> = SliceDraw<'a>;
+
+    #[inline]
+    fn bind<'a>(&'a self, g: &'a Graph, v: Vertex) -> SliceDraw<'a> {
+        let ns = g.neighbors(v);
+        assert!(!ns.is_empty(), "vertex {v} has no neighbors");
+        SliceDraw { ns }
+    }
+}
+
+impl BoundDraw for SliceDraw<'_> {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Vertex {
+        self.ns[sample_index(self.ns.len(), rng)]
+    }
+}
+
+impl NeighborDraw for cobra_graph::NeighborSampler {
+    type Bound<'a> = cobra_graph::sampler::BoundSample<'a>;
+
+    #[inline]
+    fn bind<'a>(&'a self, g: &'a Graph, v: Vertex) -> Self::Bound<'a> {
+        cobra_graph::NeighborSampler::bind(self, g, v)
+    }
+}
+
+impl BoundDraw for cobra_graph::sampler::BoundSample<'_> {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Vertex {
+        cobra_graph::sampler::BoundSample::draw(self, rng)
     }
 }
 

@@ -10,7 +10,9 @@
 //! whether E\[k\] is the quantity that matters.
 
 use crate::frontier::Frontier;
-use crate::process::{bernoulli, sample_index, Process, ProcessState, TypedProcess, TypedState};
+use crate::process::{
+    bernoulli, DrawOnTheFly, NeighborDraw, Process, ProcessState, TypedProcess, TypedState,
+};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -157,6 +159,23 @@ impl TypedProcess for ScheduledCobraWalk {
             occ: vec![start],
         }
     }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut ScheduledState) {
+        let n = g.num_vertices();
+        if state.cur.capacity() != n {
+            *state = self.spawn_typed(g, start);
+            return;
+        }
+        assert!((start as usize) < n, "start vertex in range");
+        state.schedule = self.schedule;
+        state.round = 0;
+        crate::frontier::reinit_frontier_run(
+            &mut state.cur,
+            &mut state.next,
+            &mut state.occ,
+            start,
+        );
+    }
 }
 
 /// Mutable state of a scheduled cobra walk, stepped through the hybrid
@@ -172,7 +191,12 @@ pub struct ScheduledState {
 
 impl ScheduledState {
     #[inline]
-    fn advance<const MAINTAIN_OCC: bool, R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+    fn advance<const MAINTAIN_OCC: bool, D: NeighborDraw, R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        draw: &D,
+        rng: &mut R,
+    ) {
         let ScheduledState {
             schedule,
             round,
@@ -182,13 +206,9 @@ impl ScheduledState {
         } = self;
         next.clear();
         cur.for_each(|v| {
-            let ns = g.neighbors(v);
-            debug_assert!(!ns.is_empty(), "cobra walk requires min degree >= 1");
+            debug_assert!(g.degree(v) > 0, "cobra walk requires min degree >= 1");
             let k = schedule.branches(*round, g, v, rng);
-            for _ in 0..k {
-                let u = ns[sample_index(ns.len(), rng)];
-                next.insert_quiet(u);
-            }
+            draw.draw_many(g, v, k, rng, |u| next.insert_quiet(u));
         });
         next.finalize_len();
         if MAINTAIN_OCC {
@@ -202,11 +222,15 @@ impl ScheduledState {
 
 impl TypedState for ScheduledState {
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<true, R>(g, rng);
+        self.advance::<true, _, R>(g, &DrawOnTheFly, rng);
     }
 
     fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<false, R>(g, rng);
+        self.advance::<false, _, R>(g, &DrawOnTheFly, rng);
+    }
+
+    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+        self.advance::<false, D, R>(g, draw, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {

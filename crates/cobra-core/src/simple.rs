@@ -4,7 +4,9 @@
 //! Θ(n log n) and Θ(n³) (§1.2); every experiment that claims a cobra-walk
 //! speedup measures against this process.
 
-use crate::process::{bernoulli, random_neighbor, Process, ProcessState, TypedProcess, TypedState};
+use crate::process::{
+    bernoulli, DrawOnTheFly, NeighborDraw, Process, ProcessState, TypedProcess, TypedState,
+};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -74,12 +76,23 @@ pub struct SimpleState {
     pos: [Vertex; 1],
 }
 
-impl TypedState for SimpleState {
-    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+impl SimpleState {
+    #[inline]
+    fn advance<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
         if self.laziness > 0.0 && bernoulli(self.laziness, rng) {
             return;
         }
-        self.pos[0] = random_neighbor(g, self.pos[0], rng);
+        self.pos[0] = draw.draw_one(g, self.pos[0], rng);
+    }
+}
+
+impl TypedState for SimpleState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+        self.advance(g, &DrawOnTheFly, rng);
+    }
+
+    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+        self.advance(g, draw, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {

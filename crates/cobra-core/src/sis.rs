@@ -14,7 +14,10 @@
 //!   by tests and gives the epidemic example its subcritical regime.
 
 use crate::frontier::Frontier;
-use crate::process::{bernoulli, sample_index, Process, ProcessState, TypedProcess, TypedState};
+use crate::process::{
+    bernoulli, BoundDraw, DrawOnTheFly, NeighborDraw, Process, ProcessState, TypedProcess,
+    TypedState,
+};
 use cobra_graph::{Graph, Vertex};
 use rand::Rng;
 
@@ -72,6 +75,23 @@ impl TypedProcess for SisProcess {
             occ: vec![start],
         }
     }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut SisState) {
+        let n = g.num_vertices();
+        if state.cur.capacity() != n {
+            *state = self.spawn_typed(g, start);
+            return;
+        }
+        assert!((start as usize) < n, "start vertex in range");
+        state.contacts = self.contacts;
+        state.transmit_prob = self.transmit_prob;
+        crate::frontier::reinit_frontier_run(
+            &mut state.cur,
+            &mut state.next,
+            &mut state.occ,
+            start,
+        );
+    }
 }
 
 /// Mutable state of a running SIS epidemic: the infected set as a hybrid
@@ -88,7 +108,12 @@ pub struct SisState {
 
 impl SisState {
     #[inline]
-    fn advance<const MAINTAIN_OCC: bool, R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
+    fn advance<const MAINTAIN_OCC: bool, D: NeighborDraw, R: Rng + ?Sized>(
+        &mut self,
+        g: &Graph,
+        draw: &D,
+        rng: &mut R,
+    ) {
         let SisState {
             contacts,
             transmit_prob,
@@ -98,14 +123,14 @@ impl SisState {
         } = self;
         next.clear();
         cur.for_each(|v| {
-            let ns = g.neighbors(v);
-            debug_assert!(!ns.is_empty(), "SIS requires min degree >= 1");
+            // Per-vertex draw state resolved once; the transmission coins
+            // interleave with the draws without re-resolving it.
+            let bound = draw.bind(g, v);
             for _ in 0..*contacts {
                 if *transmit_prob < 1.0 && !bernoulli(*transmit_prob, rng) {
                     continue;
                 }
-                let u = ns[sample_index(ns.len(), rng)];
-                next.insert_quiet(u);
+                next.insert_quiet(bound.draw(rng));
             }
         });
         next.finalize_len();
@@ -119,11 +144,15 @@ impl SisState {
 
 impl TypedState for SisState {
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<true, R>(g, rng);
+        self.advance::<true, _, R>(g, &DrawOnTheFly, rng);
     }
 
     fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<false, R>(g, rng);
+        self.advance::<false, _, R>(g, &DrawOnTheFly, rng);
+    }
+
+    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+        self.advance::<false, D, R>(g, draw, rng);
     }
 
     fn occupied(&self) -> &[Vertex] {

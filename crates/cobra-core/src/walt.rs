@@ -137,6 +137,19 @@ impl TypedProcess for WaltProcess {
             self.threshold,
         )
     }
+
+    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut WaltState) {
+        let n = g.num_vertices();
+        let count = self.population_for(n);
+        if state.counts.len() != n + 1 || state.positions.len() != count {
+            *state = self.spawn_typed(g, start);
+            return;
+        }
+        assert!((start as usize) < n, "start vertex in range");
+        state.positions.fill(start);
+        state.lazy = self.lazy;
+        state.threshold = self.threshold;
+    }
 }
 
 /// Running state: `positions[i]` is the vertex of pebble `i`, and pebble
@@ -145,9 +158,11 @@ pub struct WaltState {
     positions: Vec<Vertex>,
     lazy: bool,
     threshold: usize,
-    // Scratch for counting-sort grouping, reused across steps.
+    // Scratch for counting-sort grouping, reused across steps (and, via
+    // `TypedProcess::respawn_typed`, across trials).
     counts: Vec<u32>,
     grouped: Vec<u32>,
+    cursors: Vec<u32>,
 }
 
 impl WaltState {
@@ -159,6 +174,7 @@ impl WaltState {
             threshold,
             counts: vec![0; n + 1],
             grouped: vec![0; p],
+            cursors: Vec::with_capacity(n),
         }
     }
 }
@@ -183,11 +199,12 @@ impl TypedState for WaltState {
         }
         // `cursor[v]` = next insertion slot; reuse counts as cursors by
         // remembering bucket starts separately via a second pass below.
-        let mut cursors: Vec<u32> = self.counts[..n].to_vec();
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.counts[..n]);
         for (id, &v) in self.positions.iter().enumerate() {
-            let slot = cursors[v as usize];
+            let slot = self.cursors[v as usize];
             self.grouped[slot as usize] = id as u32;
-            cursors[v as usize] += 1;
+            self.cursors[v as usize] += 1;
         }
 
         for v in 0..n {

@@ -20,7 +20,11 @@
 //! * [`metrics`] — structural measurements (degrees, BFS distances,
 //!   diameter, connected components, conductance) used both by tests and by
 //!   the experiment harness to parameterize the paper's bounds (e.g. the
-//!   `Φ_G^{-2} log² n` bound of Theorem 8 needs the conductance `Φ_G`).
+//!   `Φ_G^{-2} log² n` bound of Theorem 8 needs the conductance `Φ_G`);
+//! * [`sampler`] — a per-graph [`NeighborSampler`] table that makes the
+//!   kernels' uniform-neighbor draws table-driven (precomputed Lemire
+//!   thresholds, regular-graph fast path) while consuming the exact same
+//!   RNG stream as the recompute-per-draw route.
 //!
 //! ## Example
 //!
@@ -45,7 +49,9 @@ mod error;
 pub mod generators;
 pub mod io;
 pub mod metrics;
+pub mod sampler;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NeighborIter, Vertex};
 pub use error::{GraphError, Result};
+pub use sampler::{BoundSample, NeighborSampler};

@@ -29,5 +29,5 @@ pub use runner::{
 };
 pub use seeds::SeedSequence;
 pub use stats::{EmptySummary, Summary};
-pub use sweep::{run_cover_sweep, SweepRow, SweepTable};
+pub use sweep::{run_cover_sweep, run_cover_sweep_cells, SweepCell, SweepRow, SweepTable};
 pub use table::{render_csv, render_markdown};

@@ -6,8 +6,8 @@
 
 use crate::seeds::SeedSequence;
 use crate::stats::{EmptySummary, Summary};
-use cobra_core::{CoverDriver, HittingDriver, Process, TypedProcess};
-use cobra_graph::{Graph, Vertex};
+use cobra_core::{CoverDriver, HittingDriver, Process, TrialScratch, TypedProcess};
+use cobra_graph::{Graph, NeighborSampler, Vertex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -108,11 +108,14 @@ pub fn run_cover_trials<P: Process + ?Sized>(
 }
 
 /// Fast-path variant of [`run_cover_trials`]: drives the process through
-/// the monomorphized frontier engine ([`CoverDriver::run_typed`]), which
-/// produces bit-identical outcomes on the same plan while skipping all
-/// per-step virtual dispatch. Prefer this whenever the process type is
-/// statically known; keep [`run_cover_trials`] for heterogeneous
-/// `&dyn Process` experiment tables.
+/// the batched scratch engine — a [`NeighborSampler`] built once per
+/// call, one [`TrialScratch`] per rayon worker (via `map_init`), and
+/// [`CoverDriver::run_typed_in`] per trial, so the steady-state trial
+/// path allocates nothing and re-derives nothing. Per-trial seeding is
+/// unchanged ([`SeedSequence::seed_at`]), so outcomes are bit-identical
+/// to the dyn path and to any worker count. Prefer this whenever the
+/// process type is statically known; keep [`run_cover_trials`] for
+/// heterogeneous `&dyn Process` experiment tables.
 pub fn run_cover_trials_typed<P: TypedProcess + Sync>(
     g: &Graph,
     process: &P,
@@ -120,15 +123,20 @@ pub fn run_cover_trials_typed<P: TypedProcess + Sync>(
     plan: &TrialPlan,
 ) -> TrialOutcome {
     let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let driver = CoverDriver::new(g);
     let times: Vec<Option<usize>> = (0..plan.trials)
         .into_par_iter()
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
-            let res = CoverDriver::new(g)
-                .run_typed(process, start, plan.max_steps, &mut rng)
-                .expect("non-empty graph");
-            res.completed.then_some(res.steps)
-        })
+        .map_init(
+            || TrialScratch::new(g),
+            |scratch, i| {
+                let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+                let res = driver
+                    .run_typed_in(process, &sampler, scratch, start, plan.max_steps, &mut rng)
+                    .expect("non-empty graph");
+                res.completed.then_some(res.steps)
+            },
+        )
         .collect();
     aggregate(times)
 }
@@ -154,8 +162,10 @@ pub fn run_hitting_trials<P: Process + ?Sized>(
     aggregate(times)
 }
 
-/// Fast-path variant of [`run_hitting_trials`] through
-/// [`HittingDriver::run_typed`]; bit-identical outcomes on the same plan.
+/// Fast-path variant of [`run_hitting_trials`] through the batched
+/// scratch engine ([`HittingDriver::run_typed_in`] with a shared
+/// [`NeighborSampler`] and per-worker [`TrialScratch`]); bit-identical
+/// outcomes on the same plan at any worker count.
 pub fn run_hitting_trials_typed<P: TypedProcess + Sync>(
     g: &Graph,
     process: &P,
@@ -164,14 +174,26 @@ pub fn run_hitting_trials_typed<P: TypedProcess + Sync>(
     plan: &TrialPlan,
 ) -> TrialOutcome {
     let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let driver = HittingDriver::new(g);
     let times: Vec<Option<usize>> = (0..plan.trials)
         .into_par_iter()
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
-            let res =
-                HittingDriver::new(g).run_typed(process, start, target, plan.max_steps, &mut rng);
-            res.hit.then_some(res.steps)
-        })
+        .map_init(
+            || TrialScratch::new(g),
+            |scratch, i| {
+                let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+                let res = driver.run_typed_in(
+                    process,
+                    &sampler,
+                    scratch,
+                    start,
+                    target,
+                    plan.max_steps,
+                    &mut rng,
+                );
+                res.hit.then_some(res.steps)
+            },
+        )
         .collect();
     aggregate(times)
 }

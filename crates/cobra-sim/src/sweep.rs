@@ -114,14 +114,77 @@ impl SweepTable {
     }
 }
 
-/// Run a cover-time sweep through the monomorphized frontier engine: one
-/// row per `(scale, graph, start)` cell, each measured with
-/// [`run_cover_trials_typed`] under a per-cell child seed of
-/// `plan.master_seed` (so cells are decorrelated but the whole sweep is
-/// reproducible from one master seed).
+/// One cell of a cover sweep: a scale point, the graph to measure on, the
+/// start vertex, and an optional per-cell step budget (experiments
+/// routinely size the budget to the scale — e.g. `O(n)` for cobra on
+/// grids, `O(n²)` for the simple-walk baseline — so a shared budget would
+/// change each cell's censoring semantics).
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// The swept scale recorded in the row.
+    pub scale: f64,
+    /// The graph for this cell.
+    pub graph: Graph,
+    /// Start vertex for every trial of the cell.
+    pub start: Vertex,
+    /// Per-cell step budget; `None` uses the plan's `max_steps`.
+    pub max_steps: Option<usize>,
+}
+
+impl SweepCell {
+    /// A cell using the sweep plan's shared step budget.
+    pub fn new(scale: f64, graph: Graph, start: Vertex) -> Self {
+        SweepCell {
+            scale,
+            graph,
+            start,
+            max_steps: None,
+        }
+    }
+
+    /// Override the step budget for this cell (builder style).
+    pub fn with_budget(mut self, max_steps: usize) -> Self {
+        assert!(max_steps >= 1, "need a positive step budget");
+        self.max_steps = Some(max_steps);
+        self
+    }
+}
+
+/// Run a cover-time sweep through the batched scratch engine: one row per
+/// [`SweepCell`], each measured with [`run_cover_trials_typed`] under a
+/// per-cell child seed of `plan.master_seed` (so cells are decorrelated
+/// but the whole sweep is reproducible from one master seed) and the
+/// cell's own step budget when it carries one.
 ///
 /// Returns `Err(EmptySummary)` if any cell completes zero trials — a
 /// budget bug that would otherwise surface as a panic deep in the stats.
+pub fn run_cover_sweep_cells<P: TypedProcess + Sync>(
+    label: impl Into<String>,
+    scale_name: impl Into<String>,
+    cells: impl IntoIterator<Item = SweepCell>,
+    process: &P,
+    plan: &TrialPlan,
+) -> Result<SweepTable, EmptySummary> {
+    let mut table = SweepTable::new(label, scale_name);
+    let master = crate::seeds::SeedSequence::new(plan.master_seed);
+    for (cell_idx, cell) in cells.into_iter().enumerate() {
+        let cell_plan = TrialPlan {
+            master_seed: master.child(cell_idx as u64).seed_at(0),
+            max_steps: cell.max_steps.unwrap_or(plan.max_steps),
+            ..*plan
+        };
+        let out = run_cover_trials_typed(&cell.graph, process, cell.start, &cell_plan);
+        table.push(SweepRow::try_from_summary(
+            cell.scale,
+            &out.summary,
+            out.censored,
+        )?);
+    }
+    Ok(table)
+}
+
+/// [`run_cover_sweep_cells`] for sweeps whose cells all share the plan's
+/// step budget, taking plain `(scale, graph, start)` tuples.
 pub fn run_cover_sweep<P: TypedProcess + Sync>(
     label: impl Into<String>,
     scale_name: impl Into<String>,
@@ -129,21 +192,15 @@ pub fn run_cover_sweep<P: TypedProcess + Sync>(
     process: &P,
     plan: &TrialPlan,
 ) -> Result<SweepTable, EmptySummary> {
-    let mut table = SweepTable::new(label, scale_name);
-    let master = crate::seeds::SeedSequence::new(plan.master_seed);
-    for (cell_idx, (scale, graph, start)) in cells.into_iter().enumerate() {
-        let cell_plan = TrialPlan {
-            master_seed: master.child(cell_idx as u64).seed_at(0),
-            ..*plan
-        };
-        let out = run_cover_trials_typed(&graph, process, start, &cell_plan);
-        table.push(SweepRow::try_from_summary(
-            scale,
-            &out.summary,
-            out.censored,
-        )?);
-    }
-    Ok(table)
+    run_cover_sweep_cells(
+        label,
+        scale_name,
+        cells
+            .into_iter()
+            .map(|(scale, graph, start)| SweepCell::new(scale, graph, start)),
+        process,
+        plan,
+    )
 }
 
 #[cfg(test)]
@@ -194,6 +251,32 @@ mod tests {
         assert_eq!(t.scales(), vec![8.0, 12.0, 16.0]);
         assert_eq!(t.total_censored(), 0);
         assert!(t.means().iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn per_cell_budgets_override_the_plan() {
+        use cobra_core::SimpleWalk;
+        use cobra_graph::generators::classic;
+        // Plan budget is generous, but the cell's own 3-step budget must
+        // win: a 50-path cannot be covered in 3 steps, so the cell fully
+        // censors and the sweep errors.
+        let cells = [SweepCell::new(50.0, classic::path(50).unwrap(), 0u32).with_budget(3)];
+        let plan = TrialPlan::new(5, 1_000_000, 1);
+        let err = run_cover_sweep_cells("rw on path", "n", cells, &SimpleWalk::new(), &plan);
+        assert_eq!(err.unwrap_err(), EmptySummary);
+        // Without the override, the generous plan budget completes it.
+        let cells = [SweepCell::new(50.0, classic::path(50).unwrap(), 0u32)];
+        let ok =
+            run_cover_sweep_cells("rw on path", "n", cells, &SimpleWalk::new(), &plan).unwrap();
+        assert_eq!(ok.rows.len(), 1);
+        assert_eq!(ok.rows[0].censored, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive step budget")]
+    fn cell_budget_rejects_zero() {
+        use cobra_graph::generators::classic;
+        let _ = SweepCell::new(8.0, classic::cycle(8).unwrap(), 0u32).with_budget(0);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Reproducibility: every random artifact in the workspace must be a pure
 //! function of its seed, regardless of thread scheduling.
 
-use cobra_repro::graph::generators::{gnp, random_regular};
-use cobra_repro::sim::runner::{run_cover_trials, TrialPlan};
+use cobra_repro::graph::generators::{classic, gnp, random_regular};
+use cobra_repro::sim::runner::{
+    run_cover_trials, run_cover_trials_typed, run_hitting_trials_typed, TrialPlan,
+};
 use cobra_repro::sim::seeds::SeedSequence;
-use cobra_repro::walks::{CobraWalk, WaltProcess};
+use cobra_repro::sim::TrialOutcome;
+use cobra_repro::walks::{CobraWalk, CoverDriver, HittingDriver, SisProcess, WaltProcess};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,6 +54,110 @@ fn seed_sequences_are_stable_across_calls() {
     // caught (these act as a format version for recorded experiments).
     assert_eq!(s.seed_at(0), SeedSequence::new(0xABCD).seed_at(0));
     assert_ne!(s.seed_at(0), s.seed_at(1));
+}
+
+/// Full-moment equality for two trial outcomes (the summaries must be
+/// built from the exact same per-trial values, not just agree on means).
+fn assert_outcomes_identical(a: &TrialOutcome, b: &TrialOutcome, label: &str) {
+    assert_eq!(a.censored, b.censored, "{label}: censoring differs");
+    assert_eq!(
+        a.summary.count(),
+        b.summary.count(),
+        "{label}: counts differ"
+    );
+    if a.summary.count() > 0 {
+        assert_eq!(a.summary.mean(), b.summary.mean(), "{label}: means differ");
+        assert_eq!(
+            a.summary.median(),
+            b.summary.median(),
+            "{label}: medians differ"
+        );
+        assert_eq!(a.summary.min(), b.summary.min(), "{label}: mins differ");
+        assert_eq!(a.summary.max(), b.summary.max(), "{label}: maxes differ");
+    }
+}
+
+#[test]
+fn scratch_engine_is_worker_count_independent() {
+    // The batched scratch engine (per-worker TrialScratch via map_init)
+    // must produce bit-identical outcomes at worker counts 1, 2, and 8:
+    // per-trial seeds are positional, so chunk boundaries and scratch
+    // reuse order must not leak into results.
+    let g = gnp::gnp_connected(150, 0.06, 100, &mut StdRng::seed_from_u64(17)).unwrap();
+    let cobra = CobraWalk::standard();
+    let sis = SisProcess::new(2, 0.7);
+    let cover_plan = TrialPlan::new(96, 1_000_000, 42);
+    let hit_plan = TrialPlan::new(96, 1_000_000, 43);
+
+    let at_workers = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            (
+                run_cover_trials_typed(&g, &cobra, 0, &cover_plan),
+                run_cover_trials_typed(&g, &sis, 0, &cover_plan),
+                run_hitting_trials_typed(&g, &cobra, 0, 149, &hit_plan),
+            )
+        })
+    };
+
+    let base = at_workers(1);
+    for threads in [2usize, 8] {
+        let other = at_workers(threads);
+        let label = format!("{threads} workers vs 1");
+        assert_outcomes_identical(&base.0, &other.0, &format!("cobra cover, {label}"));
+        assert_outcomes_identical(&base.1, &other.1, &format!("sis cover, {label}"));
+        assert_outcomes_identical(&base.2, &other.2, &format!("cobra hitting, {label}"));
+    }
+}
+
+#[test]
+fn scratch_engine_matches_pre_scratch_path() {
+    // The rewired typed runners must reproduce the pre-scratch results
+    // exactly: rebuild the per-trial values serially from the same
+    // SeedSequence with the allocate-fresh `run_typed` drivers and
+    // compare summary moments of the two multisets. (Per-trial positional
+    // pinning — which seed produced which outcome — is covered by the
+    // serial scratch-vs-dyn matrix in tests/engine_equivalence.rs; a
+    // runner bug that drew the wrong seeds would change the multiset and
+    // be caught here.)
+    let g = classic::cycle(64).unwrap();
+    let cobra = CobraWalk::standard();
+    let plan = TrialPlan::new(40, 100_000, 0xD15EA5E);
+
+    let out = run_cover_trials_typed(&g, &cobra, 0, &plan);
+    let seq = SeedSequence::new(plan.master_seed);
+    let mut oracle_times = Vec::new();
+    for i in 0..plan.trials {
+        let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+        let res = CoverDriver::new(&g)
+            .run_typed(&cobra, 0, plan.max_steps, &mut rng)
+            .unwrap();
+        assert!(res.completed);
+        oracle_times.push(res.steps as f64);
+    }
+    let oracle = cobra_repro::sim::Summary::from_slice(&oracle_times);
+    assert_eq!(out.censored, 0);
+    assert_eq!(out.summary.count(), oracle.count());
+    assert_eq!(out.summary.mean(), oracle.mean());
+    assert_eq!(out.summary.median(), oracle.median());
+    assert_eq!(out.summary.max(), oracle.max());
+
+    let target = 32u32;
+    let hit = run_hitting_trials_typed(&g, &cobra, 0, target, &plan);
+    let mut hit_oracle = Vec::new();
+    for i in 0..plan.trials {
+        let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+        let res = HittingDriver::new(&g).run_typed(&cobra, 0, target, plan.max_steps, &mut rng);
+        assert!(res.hit);
+        hit_oracle.push(res.steps as f64);
+    }
+    let hit_oracle = cobra_repro::sim::Summary::from_slice(&hit_oracle);
+    assert_eq!(hit.summary.count(), hit_oracle.count());
+    assert_eq!(hit.summary.mean(), hit_oracle.mean());
+    assert_eq!(hit.summary.median(), hit_oracle.median());
 }
 
 #[test]

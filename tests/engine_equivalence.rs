@@ -2,11 +2,14 @@
 //!
 //! The monomorphized fast path (`CoverDriver::run_typed` /
 //! `HittingDriver::run_typed`, backed by the sparse/dense
-//! [`cobra_repro::walks::Frontier`]) must produce **bit-for-bit identical**
+//! [`cobra_repro::walks::Frontier`]) and the batched scratch path
+//! (`run_typed_in`, with state reuse via `respawn_typed` and table-driven
+//! draws via [`NeighborSampler`]) must produce **bit-for-bit identical**
 //! results to the legacy `Box<dyn ProcessState>` path on the same
-//! [`SeedSequence`]-derived seeds — not just statistical agreement. Both
-//! routes instantiate the same generic step code, so any divergence here
-//! means the engine changed *what* is computed, not just how fast.
+//! [`SeedSequence`]-derived seeds — not just statistical agreement. All
+//! routes instantiate the same generic step code and stream-compatible
+//! draw strategies, so any divergence here means the engine changed
+//! *what* is computed, not just how fast.
 //!
 //! Matrix: every process family of the paper (cobra k ∈ {1,2,3}, simple
 //! walk, Walt, SIS, push/pull/push-pull gossip) × four graph shapes
@@ -15,11 +18,11 @@
 //! per-round support sizes are compared too.
 
 use cobra_repro::graph::generators::{chung_lu, classic, grid};
-use cobra_repro::graph::Graph;
+use cobra_repro::graph::{Graph, NeighborSampler};
 use cobra_repro::sim::SeedSequence;
 use cobra_repro::walks::{
     CobraWalk, CoverDriver, HittingDriver, PullGossip, PushGossip, PushPullGossip, SimpleWalk,
-    SisProcess, TypedProcess, WaltProcess,
+    SisProcess, TrialScratch, TypedProcess, WaltProcess,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,11 +56,17 @@ fn cell_seeds(process_idx: u64, graph_idx: u64) -> Vec<u64> {
     (0..3).map(|i| seq.seed_at(i)).collect()
 }
 
-/// Assert fast path ≡ dyn path for cover and hitting on every graph.
+/// Assert fast path ≡ dyn path ≡ scratch path for cover and hitting on
+/// every graph. The scratch engine reuses one [`TrialScratch`] (and one
+/// per-graph [`NeighborSampler`]) across all seeds of a cell, so the
+/// respawn-reuse path and the table-driven draws are exercised against
+/// the allocate-fresh routes on identical RNG streams.
 fn assert_engine_equivalence<P: TypedProcess>(process_idx: u64, process: &P) {
     for (graph_idx, (gname, g)) in graphs().into_iter().enumerate() {
         let n = g.num_vertices();
         let target = (n - 1) as u32;
+        let sampler = NeighborSampler::new(&g);
+        let mut scratch = TrialScratch::new(&g);
         for seed in cell_seeds(process_idx, graph_idx as u64) {
             let label = format!("{} on {gname} (seed {seed:#x})", process.name());
 
@@ -72,6 +81,26 @@ fn assert_engine_equivalence<P: TypedProcess>(process_idx: u64, process: &P) {
             assert_eq!(
                 dyn_cover, typed_cover,
                 "cover divergence for {label}: dyn {dyn_cover:?} vs typed {typed_cover:?}"
+            );
+            let scratch_cover = CoverDriver::new(&g)
+                .record_trajectory()
+                .run_typed_in(
+                    process,
+                    &sampler,
+                    &mut scratch,
+                    0,
+                    MAX_STEPS,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .unwrap();
+            assert_eq!(
+                dyn_cover, scratch_cover,
+                "cover divergence for {label}: dyn {dyn_cover:?} vs scratch {scratch_cover:?}"
+            );
+            assert_eq!(
+                scratch.trajectory(),
+                scratch_cover.trajectory.as_deref().unwrap(),
+                "scratch trajectory buffer must mirror the returned trajectory for {label}"
             );
 
             let dyn_hit = HittingDriver::new(&g).run(
@@ -91,6 +120,19 @@ fn assert_engine_equivalence<P: TypedProcess>(process_idx: u64, process: &P) {
             assert_eq!(
                 dyn_hit, typed_hit,
                 "hitting divergence for {label}: dyn {dyn_hit:?} vs typed {typed_hit:?}"
+            );
+            let scratch_hit = HittingDriver::new(&g).run_typed_in(
+                process,
+                &sampler,
+                &mut scratch,
+                0,
+                target,
+                MAX_STEPS,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(
+                dyn_hit, scratch_hit,
+                "hitting divergence for {label}: dyn {dyn_hit:?} vs scratch {scratch_hit:?}"
             );
         }
     }

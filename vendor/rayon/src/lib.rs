@@ -6,6 +6,9 @@
 //!
 //! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` — order-preserving
 //!   parallel map over an index range (the Monte-Carlo trial fan-out);
+//! * `.map_init(init, f)` — the same, with one lazily-built per-worker
+//!   context handed to `f` as `&mut` (the scratch-reuse hook the batched
+//!   trial engine amortizes its per-trial buffers through);
 //! * `slice.par_iter_mut().enumerate().for_each(f)` — parallel in-place
 //!   update of a slice (the large-matvec row loop);
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped worker-count
@@ -119,34 +122,54 @@ impl ThreadPool {
     }
 }
 
-/// Run `f(index, &mut items[index])`-style jobs: applies `f` to every index
-/// in `0..len`, fanning out over the current worker count. The closure
-/// receives disjoint indices, so `f` only needs `Sync`.
-fn run_indexed<F: Fn(usize) + Sync>(len: usize, f: F) {
+/// Run `f(&mut ctx, index)`-style jobs: applies `f` to every index in
+/// `0..len`, fanning out over the current worker count, handing each
+/// worker its own context built lazily by `init` on the worker's first
+/// item (so workers that never claim a chunk never pay for one). The
+/// closure receives disjoint indices, so `f` only needs `Sync`; the
+/// context never crosses threads, so it needs neither `Send` nor `Sync`.
+fn run_indexed_init<I, C: Fn() -> I + Sync, F: Fn(&mut I, usize) + Sync>(
+    len: usize,
+    init: C,
+    f: F,
+) {
     let workers = current_num_threads_inner().min(len.max(1));
     if workers <= 1 || len <= 1 {
+        if len == 0 {
+            return;
+        }
+        let mut ctx = init();
         for i in 0..len {
-            f(i);
+            f(&mut ctx, i);
         }
         return;
     }
     let next = AtomicUsize::new(0);
     // Coarse dynamic chunking: enough chunks for balance, few enough that
-    // the atomic counter stays cold.
+    // the atomic counter stays cold (and that per-chunk contexts amortize).
     let chunk = (len / (workers * 4)).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                for i in start..(start + chunk).min(len) {
-                    f(i);
+            scope.spawn(|| {
+                let mut ctx: Option<I> = None;
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let ctx = ctx.get_or_insert_with(&init);
+                    for i in start..(start + chunk).min(len) {
+                        f(ctx, i);
+                    }
                 }
             });
         }
     });
+}
+
+/// [`run_indexed_init`] with a unit context.
+fn run_indexed<F: Fn(usize) + Sync>(len: usize, f: F) {
+    run_indexed_init(len, || (), |(), i| f(i));
 }
 
 /// An eagerly materialized parallel iterator over owned items.
@@ -173,6 +196,41 @@ impl<T: Send> ParIter<T> {
                 unsafe {
                     let item = (*in_ptr.at(i)).take().expect("item present");
                     *out_ptr.at(i) = Some(f(item));
+                }
+            });
+        }
+        ParIter {
+            items: out.into_iter().map(|x| x.expect("slot filled")).collect(),
+        }
+    }
+
+    /// Parallel map with per-worker state, preserving input order
+    /// (mirrors `rayon`'s `map_init`): `init` builds one context per
+    /// worker — lazily, on the worker's first item — and `f` receives
+    /// `&mut` to it alongside each item. The canonical use is expensive
+    /// reusable scratch (per-trial buffers, RNG tables) amortized across
+    /// a worker's whole chunk. The context stays on its worker thread, so
+    /// it needs neither `Send` nor `Sync`; results land at their item's
+    /// index, so output is bitwise independent of the worker count.
+    pub fn map_init<I, R: Send, C: Fn() -> I + Sync, F: Fn(&mut I, T) -> R + Sync>(
+        self,
+        init: C,
+        f: F,
+    ) -> ParIter<R> {
+        let len = self.items.len();
+        let mut slots: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        {
+            let in_ptr = SyncPtr(slots.as_mut_ptr());
+            let out_ptr = SyncPtr(out.as_mut_ptr());
+            run_indexed_init(len, init, |ctx, i| {
+                // SAFETY: run_indexed_init invokes each index exactly
+                // once, and indices are disjoint, so the &muts never
+                // alias.
+                unsafe {
+                    let item = (*in_ptr.at(i)).take().expect("item present");
+                    *out_ptr.at(i) = Some(f(ctx, item));
                 }
             });
         }
@@ -301,6 +359,80 @@ mod tests {
         let before = crate::current_num_threads();
         pool.install(|| assert_eq!(crate::current_num_threads(), 1));
         assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn map_init_matches_map_and_preserves_order() {
+        let via_map: Vec<usize> = (0..5000).into_par_iter().map(|i| i * 3 + 1).collect();
+        let via_init: Vec<usize> = (0..5000)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |scratch, i| {
+                    *scratch += 1; // per-worker state is genuinely mutable
+                    i * 3 + 1
+                },
+            )
+            .collect();
+        assert_eq!(via_map, via_init);
+    }
+
+    #[test]
+    fn map_init_builds_at_most_one_context_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map_init(|| inits.fetch_add(1, Ordering::Relaxed), |_, i: usize| i)
+            .collect();
+        assert_eq!(out.len(), n);
+        let built = inits.load(Ordering::Relaxed);
+        assert!(built >= 1);
+        assert!(
+            built <= crate::current_num_threads(),
+            "built {built} contexts for {} workers",
+            crate::current_num_threads()
+        );
+    }
+
+    #[test]
+    fn map_init_is_worker_count_independent() {
+        // The context is reusable scratch; as long as the per-item result
+        // is a function of the item alone, output must be bitwise
+        // identical at any worker count.
+        let work = || {
+            (0..3000)
+                .into_par_iter()
+                .map_init(Vec::<u64>::new, |buf, i: usize| {
+                    buf.clear();
+                    buf.extend([i as u64, i as u64 + 1]);
+                    buf.iter().sum::<u64>().wrapping_mul(0x9E3779B9)
+                })
+                .collect::<Vec<_>>()
+        };
+        let single = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(work);
+        let expect: Vec<u64> = (0..3000u64)
+            .map(|i| (2 * i + 1).wrapping_mul(0x9E3779B9))
+            .collect();
+        assert_eq!(single, expect);
+        assert_eq!(work(), expect);
+    }
+
+    #[test]
+    fn map_init_empty_input_never_builds_a_context() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..0)
+            .into_par_iter()
+            .map_init(|| inits.fetch_add(1, Ordering::Relaxed), |_, i: usize| i)
+            .collect();
+        assert!(out.is_empty());
+        assert_eq!(inits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
