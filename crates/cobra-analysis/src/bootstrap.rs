@@ -5,11 +5,19 @@
 //! points provides them without distributional assumptions.
 
 use crate::fit::power_law_fit;
+use cobra_sim::stats::quantile_sorted;
 use rand::{Rng, RngExt};
 
 /// Bootstrap percentile confidence interval for the power-law exponent of
 /// `(xs, ys)`: resamples point pairs with replacement `resamples` times
 /// and returns `(lo, hi)` at the given two-sided `confidence` (e.g. 0.95).
+///
+/// The interval ends are the `α/2` and `1 − α/2` sample quantiles of the
+/// resampled exponents under the same linear-interpolation definition as
+/// [`cobra_sim::stats::Summary::quantile`] — the earlier index-truncation
+/// scheme (`floor` on the low tail, `ceil − 1` on the high tail) clipped
+/// the two tails asymmetrically and biased every reported CI inward on
+/// the high side.
 ///
 /// Resamples that collapse to a single distinct x (unfittable) are
 /// skipped; panics if every resample collapses (pathological input).
@@ -43,11 +51,10 @@ pub fn bootstrap_exponent_ci<R: Rng>(
     assert!(!exps.is_empty(), "all bootstrap resamples were degenerate");
     exps.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let alpha = (1.0 - confidence) / 2.0;
-    let lo_idx = ((exps.len() as f64) * alpha).floor() as usize;
-    let hi_idx = (((exps.len() as f64) * (1.0 - alpha)).ceil() as usize)
-        .saturating_sub(1)
-        .min(exps.len() - 1);
-    (exps[lo_idx], exps[hi_idx])
+    (
+        quantile_sorted(&exps, alpha),
+        quantile_sorted(&exps, 1.0 - alpha),
+    )
 }
 
 #[cfg(test)]
@@ -92,6 +99,29 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(4);
         let (lo99, hi99) = bootstrap_exponent_ci(&xs, &ys, 600, 0.99, &mut rng2);
         assert!(hi99 - lo99 >= hi68 - lo68);
+    }
+
+    #[test]
+    fn symmetric_resample_distribution_gives_symmetric_ci() {
+        // Design invariant under (log x, log y) → (log x, 2·log x − log y):
+        // the two middle points mirror each other, the end points are
+        // fixed, so every resample has an equally likely mirror resample
+        // with slope 2 − s. The bootstrap slope distribution is therefore
+        // exactly symmetric about 1, and the percentile CI must be
+        // symmetric about 1 up to resampling noise. (Interpolating both
+        // tails with the shared `quantile_sorted` keeps the two ends at
+        // mirrored quantile levels; mismatched index rules on the two
+        // tails would skew this.)
+        let xs: Vec<f64> = [0.0f64, 1.0, 1.0, 2.0].iter().map(|u| u.exp()).collect();
+        let ys: Vec<f64> = [0.0f64, 1.5, 0.5, 2.0].iter().map(|v| v.exp()).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (lo, hi) = bootstrap_exponent_ci(&xs, &ys, 4000, 0.90, &mut rng);
+        assert!(lo < 1.0 && hi > 1.0, "CI [{lo}, {hi}] must contain 1.0");
+        let skew = (1.0 - lo) - (hi - 1.0);
+        assert!(
+            skew.abs() < 0.05,
+            "CI [{lo}, {hi}] asymmetric about 1.0 (skew {skew:.4})"
+        );
     }
 
     #[test]

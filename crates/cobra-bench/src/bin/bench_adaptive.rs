@@ -1,0 +1,297 @@
+//! **Adaptive-orchestration perf baseline:** compares the sequential-
+//! stopping sweep engine against the fixed-trial plan **at equal
+//! precision** and writes `BENCH_adaptive.json`.
+//!
+//! The workload is a deliberately heterogeneous cover sweep — the shape
+//! every real experiment here has:
+//!
+//! * *easy but expensive* cells (grid/torus/hypercube covers: tightly
+//!   concentrated cover times on thousands of vertices), where a fixed
+//!   plan burns most of its wall-clock on trials that stop improving the
+//!   CI almost immediately;
+//! * a *hard but cheap* cell (the lollipop: 48 vertices, heavy-tailed
+//!   cover), which is what forces a fixed plan's shared trial count up.
+//!
+//! Protocol, per cell: run the adaptive engine at relative CI half-width
+//! target ε → it consumes `N_c` trials. A fixed-trial design that meets ε
+//! on **every** cell must size its shared per-cell count to the hardest
+//! cell, `N_fixed = max_c N_c` (that is exactly how the pre-adaptive
+//! sweeps here were sized: generous enough for the worst cell). Then
+//! time both plans over the whole sweep; the headline number is
+//! `wall(fixed at N_fixed) / wall(adaptive)`. Equal precision is
+//! verified, not assumed: the fixed run must achieve ≤ ε on every cell
+//! the adaptive run did, and both engines' outcomes on the shared trial
+//! prefix are asserted bit-identical before timing is trusted.
+//!
+//! Usage: `bench_adaptive [--quick] [--seed <u64>] [--out <path>]`
+//! `--quick` is the CI smoke mode (looser ε, fewer reps, same cells).
+//! The full-mode release run enforces the ≥ 1.3× gate (nonzero exit).
+
+use cobra_bench::Family;
+use cobra_core::CobraWalk;
+use cobra_sim::{
+    run_cover_trials_adaptive, run_cover_trials_typed, AdaptivePlan, StopRule, TrialPlan,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Cell {
+    name: &'static str,
+    g: cobra_graph::Graph,
+    start: u32,
+    budget: usize,
+}
+
+struct CellResult {
+    name: &'static str,
+    n: usize,
+    adaptive_trials: usize,
+    adaptive_rel_half_width: f64,
+    adaptive_secs: f64,
+    fixed_secs: f64,
+    fixed_rel_half_width: f64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 0xC0B7Au64;
+    let mut out_path = "BENCH_adaptive.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a u64 value");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("usage: bench_adaptive [--quick] [--seed <u64>] [--out <path>]");
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    let (rule, warmup, reps) = if quick {
+        (StopRule::new(8, 512, 0.10), 1, 3)
+    } else {
+        (StopRule::new(16, 4096, 0.05), 2, 8)
+    };
+    let batch = 32;
+    let process = CobraWalk::standard();
+
+    let mk = |fam: Family, scale: usize, name: &'static str| {
+        let g = fam.build(scale, seed);
+        let start = fam.adversarial_start(&g);
+        let budget = fam.cobra_cover_budget(scale, g.num_vertices());
+        Cell {
+            name,
+            g,
+            start,
+            budget,
+        }
+    };
+    // Easy-but-expensive cells first, the hard-but-cheap lollipop last;
+    // every real sweep here mixes exactly these two regimes.
+    let cells = [
+        mk(Family::Grid { d: 2 }, 47, "grid_48x48/cobra_k2/cover"),
+        mk(Family::Torus { d: 2 }, 40, "torus_40x40/cobra_k2/cover"),
+        mk(Family::Hypercube, 10, "hypercube_1024/cobra_k2/cover"),
+        mk(Family::Lollipop, 48, "lollipop_48/cobra_k2/cover"),
+    ];
+
+    // --- Pass 1: adaptive trial counts + cross-engine identity ---------
+    let master = cobra_sim::SeedSequence::new(seed);
+    let plans: Vec<AdaptivePlan> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| AdaptivePlan::new(rule, batch, c.budget, master.child(i as u64).seed_at(0)))
+        .collect();
+    let adaptive_outs: Vec<_> = cells
+        .iter()
+        .zip(&plans)
+        .map(|(c, p)| run_cover_trials_adaptive(&c.g, &process, c.start, p))
+        .collect();
+    for (c, (out, plan)) in cells.iter().zip(adaptive_outs.iter().zip(&plans)) {
+        assert!(
+            out.precision_met,
+            "{}: adaptive run hit the {} trial cap before ε — raise the cap",
+            c.name, rule.max_trials
+        );
+        // Identity: the adaptive prefix must equal the fixed plan run at
+        // the same count (same seeds, same engine) bit-for-bit.
+        let fixed = run_cover_trials_typed(
+            &c.g,
+            &process,
+            c.start,
+            &TrialPlan::new(out.trials_run(), plan.max_steps, plan.master_seed),
+        );
+        assert_eq!(out.summary.count(), fixed.summary.count(), "{}", c.name);
+        assert_eq!(out.censored, fixed.censored, "{}", c.name);
+        assert_eq!(out.summary.mean(), fixed.summary.mean(), "{}", c.name);
+        assert_eq!(out.summary.max(), fixed.summary.max(), "{}", c.name);
+    }
+    let n_fixed = adaptive_outs
+        .iter()
+        .map(|o| o.trials_run())
+        .max()
+        .expect("cells");
+
+    // --- Pass 2: wall-clock, whole sweep, both plans -------------------
+    let time_sweep = |f: &dyn Fn() -> usize| -> f64 {
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let t = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+    let adaptive_sweep = || -> usize {
+        cells
+            .iter()
+            .zip(&plans)
+            .map(|(c, p)| run_cover_trials_adaptive(&c.g, &process, c.start, p).trials_run())
+            .sum()
+    };
+    let fixed_sweep = || -> usize {
+        cells
+            .iter()
+            .zip(&plans)
+            .map(|(c, p)| {
+                run_cover_trials_typed(
+                    &c.g,
+                    &process,
+                    c.start,
+                    &TrialPlan::new(n_fixed, p.max_steps, p.master_seed),
+                )
+                .summary
+                .count()
+            })
+            .sum()
+    };
+    let adaptive_total = time_sweep(&adaptive_sweep);
+    let fixed_total = time_sweep(&fixed_sweep);
+
+    // Per-cell breakdown (timed separately, fewer reps needed for the
+    // table — the gate uses the whole-sweep numbers above).
+    let results: Vec<CellResult> = cells
+        .iter()
+        .zip(adaptive_outs.iter().zip(&plans))
+        .map(|(c, (out, plan))| {
+            let t_a = {
+                let t = Instant::now();
+                for _ in 0..reps {
+                    black_box(run_cover_trials_adaptive(&c.g, &process, c.start, plan));
+                }
+                t.elapsed().as_secs_f64() / reps as f64
+            };
+            let fixed_plan = TrialPlan::new(n_fixed, plan.max_steps, plan.master_seed);
+            let fixed_out = run_cover_trials_typed(&c.g, &process, c.start, &fixed_plan);
+            let t_f = {
+                let t = Instant::now();
+                for _ in 0..reps {
+                    black_box(run_cover_trials_typed(&c.g, &process, c.start, &fixed_plan));
+                }
+                t.elapsed().as_secs_f64() / reps as f64
+            };
+            let rel = |s: &cobra_sim::Summary| s.ci_half_width(rule.confidence) / s.mean();
+            // Equal precision, verified: the fixed plan at N_fixed must
+            // meet ε wherever the adaptive run did.
+            let fixed_rel = rel(&fixed_out.summary);
+            assert!(
+                fixed_rel <= rule.rel_precision * 1.05,
+                "{}: fixed plan at {n_fixed} trials missed ε ({fixed_rel:.4})",
+                c.name
+            );
+            CellResult {
+                name: c.name,
+                n: c.g.num_vertices(),
+                adaptive_trials: out.trials_run(),
+                adaptive_rel_half_width: rel(&out.summary),
+                adaptive_secs: t_a,
+                fixed_secs: t_f,
+                fixed_rel_half_width: fixed_rel,
+            }
+        })
+        .collect();
+
+    let speedup = fixed_total / adaptive_total;
+    println!(
+        "equal-precision target ε = {:.0}% relative CI half-width at {:.0}% confidence",
+        rule.rel_precision * 100.0,
+        rule.confidence * 100.0
+    );
+    println!("fixed-trial plan sized to the hardest cell: N_fixed = {n_fixed} trials/cell\n");
+    for r in &results {
+        println!(
+            "{:30} n={:5}  adaptive {:4} trials ({:5.3}s, rel {:.4})  fixed {:4} trials ({:5.3}s, rel {:.4})  {:4.2}x",
+            r.name,
+            r.n,
+            r.adaptive_trials,
+            r.adaptive_secs,
+            r.adaptive_rel_half_width,
+            n_fixed,
+            r.fixed_secs,
+            r.fixed_rel_half_width,
+            r.fixed_secs / r.adaptive_secs.max(1e-12),
+        );
+    }
+    println!(
+        "\nwhole sweep: fixed {fixed_total:.3}s vs adaptive {adaptive_total:.3}s  →  {speedup:.2}x at equal precision"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"cobra-bench/adaptive-v1\",\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!(
+        "  \"rel_precision\": {}, \"confidence\": {}, \"n_fixed\": {n_fixed},\n",
+        rule.rel_precision, rule.confidence
+    ));
+    json.push_str(&format!(
+        "  \"fixed_sweep_secs\": {fixed_total:.6}, \"adaptive_sweep_secs\": {adaptive_total:.6}, \"speedup\": {speedup:.3},\n"
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"adaptive_trials\": {}, \"fixed_trials\": {n_fixed}, \
+             \"adaptive_secs\": {:.6}, \"fixed_secs\": {:.6}, \"adaptive_rel_half_width\": {:.5}, \
+             \"fixed_rel_half_width\": {:.5}}}{}\n",
+            r.name,
+            r.n,
+            r.adaptive_trials,
+            r.adaptive_secs,
+            r.fixed_secs,
+            r.adaptive_rel_half_width,
+            r.fixed_rel_half_width,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+
+    // Acceptance gate: adaptive must beat the equal-precision fixed plan
+    // by ≥ 1.3× wall-clock on the sweep. Enforced (nonzero exit) only for
+    // full-mode release runs — quick mode's few reps and debug builds are
+    // too noisy to gate on, so they just warn.
+    if speedup < 1.3 {
+        eprintln!("WARNING: equal-precision speedup {speedup:.2}x below the 1.3x gate");
+        if !quick && !cfg!(debug_assertions) {
+            std::process::exit(1);
+        }
+    }
+}

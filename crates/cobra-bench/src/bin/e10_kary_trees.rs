@@ -12,10 +12,10 @@
 
 use cobra_analysis::compare::ratio_flatness;
 use cobra_bench::report::{banner, emit_table, verdict};
-use cobra_bench::{ExpConfig, Family};
+use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::CobraWalk;
-use cobra_sim::runner::{run_cover_trials, TrialPlan};
 use cobra_sim::sweep::{SweepRow, SweepTable};
+use cobra_sim::StopRule;
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -25,8 +25,29 @@ fn main() {
         &cfg,
     );
 
+    // Tree cover/diameter ratios sit within noise of the 0.15 flatness
+    // threshold at reachable depths (a c\u{b7}diam law and c\u{b7}diam\u{b7}log(diam)
+    // are nearly indistinguishable), so changing the sample size moves
+    // the measured log-slope across the line in either direction. Pin
+    // the historical per-cell sample exactly (min = max) so the recorded
+    // verdicts stay comparable across PRs; quick mode keeps the small
+    // adaptive envelope.
+    let rule = if cfg.full {
+        StopRule::new(80, 80, 0.02)
+    } else if cfg.quick {
+        StopRule::new(6, 20, 0.20)
+    } else {
+        StopRule::new(25, 25, 0.04)
+    };
+    let spec = ExperimentSpec::from_config(
+        "e10",
+        "\u{a7}3 remark/conjecture: k-ary tree cover time \u{221d} diameter",
+        &cfg,
+    )
+    .with_rule(rule);
+    let mut orch = Orchestrator::new(spec);
+
     let cobra = CobraWalk::standard();
-    let trials = cfg.scale(25, 80);
 
     let mut all_proportional = true;
     for k in [2usize, 3, 4, 5] {
@@ -51,11 +72,14 @@ fn main() {
             // generous multiple plus slack for the conjectured k ≥ 4 cases
             // where the constant may be larger.
             let budget = 3000 * diam * (k + 1) + 200_000;
-            let out = run_cover_trials(
+            let out = orch.cover_cell(
+                &fam.name(),
+                diam as f64,
                 &g,
                 &cobra,
                 0,
-                &TrialPlan::new(trials, budget, cfg.seed.wrapping_add((k * 100 + i) as u64)),
+                budget,
+                cfg.seed.wrapping_add((k * 100 + i) as u64),
             );
             table.push(
                 SweepRow::from_summary(diam as f64, &out.summary, out.censored)
@@ -103,4 +127,6 @@ fn main() {
         "conjectured k ∈ {4,5} reported informationally; cover ∝ diam vs diam·log(diam) \
          needs exponentially deeper trees to separate",
     );
+    println!();
+    orch.finish(&cfg);
 }

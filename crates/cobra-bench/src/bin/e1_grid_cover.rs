@@ -10,20 +10,20 @@
 //! * p95 tracks the mean (the paper's bounds are w.h.p.).
 
 use cobra_bench::report::{banner, classify_and_report, emit_table, fit_and_report, verdict};
-use cobra_bench::{ExpConfig, Family};
+use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::{CobraWalk, SimpleWalk, TypedProcess};
-use cobra_sim::runner::TrialPlan;
-use cobra_sim::sweep::{run_cover_sweep_cells, SweepCell, SweepTable};
+use cobra_sim::sweep::{SweepCell, SweepTable};
 
-/// Sweep through the typed scratch engine: one [`SweepCell`] per scale,
+/// Adaptive sweep through the orchestrator: one [`SweepCell`] per scale,
 /// each carrying its own `budget_for(scale)` step budget, with per-cell
-/// seeds derived from the sweep master.
+/// seeds derived from the sweep master and per-cell trial counts decided
+/// by the run's stopping rule.
 fn sweep_cover<P: TypedProcess + Sync>(
+    orch: &mut Orchestrator,
     cfg: &ExpConfig,
     family: Family,
     process: &P,
     scales: &[usize],
-    trials: usize,
     budget_for: impl Fn(usize) -> usize,
     label: &str,
 ) -> SweepTable {
@@ -34,8 +34,7 @@ fn sweep_cover<P: TypedProcess + Sync>(
         let start = family.adversarial_start(&g);
         SweepCell::new(scale as f64, g, start).with_budget(budget_for(scale))
     });
-    let plan = TrialPlan::new(trials, 1, cfg.seed); // budget comes per cell
-    run_cover_sweep_cells(label.to_string(), "n", cells, process, &plan)
+    orch.cover_sweep(label, "n", cells, process, cfg.seed)
         .expect("a sweep cell completed zero trials — raise the step budget")
 }
 
@@ -46,10 +45,15 @@ fn main() {
         "2-cobra cover time on [0,n]^d is O(n) (Theorem 3); simple RW is ~n² on d ≤ 2",
         &cfg,
     );
+    let spec = ExperimentSpec::from_config(
+        "e1",
+        "2-cobra cover on [0,n]^d is O(n); simple RW ~n² on d ≤ 2",
+        &cfg,
+    );
+    let mut orch = Orchestrator::new(spec);
 
     let cobra = CobraWalk::standard();
     let rw = SimpleWalk::new();
-    let trials = cfg.scale(20, 60);
 
     // --- d = 1 ---------------------------------------------------------
     let sides1 = cfg.scale(
@@ -57,11 +61,11 @@ fn main() {
         vec![256, 384, 512, 768, 1024, 1536],
     );
     let t_cobra1 = sweep_cover(
+        &mut orch,
         &cfg,
         Family::Grid { d: 1 },
         &cobra,
         &sides1,
-        trials,
         |n| 4000 + 400 * n,
         "cobra(k=2) on grid d=1",
     );
@@ -71,11 +75,11 @@ fn main() {
 
     let rw_sides1 = cfg.scale(vec![32usize, 48, 64, 96, 128], vec![64, 96, 128, 192, 256]);
     let t_rw1 = sweep_cover(
+        &mut orch,
         &cfg,
         Family::Grid { d: 1 },
         &rw,
         &rw_sides1,
-        trials,
         |n| 200 * n * n + 10_000,
         "simple-rw on grid d=1",
     );
@@ -85,11 +89,11 @@ fn main() {
     // --- d = 2 ---------------------------------------------------------
     let sides2 = cfg.scale(vec![8usize, 12, 16, 24, 32], vec![16, 24, 32, 48, 64, 96]);
     let t_cobra2 = sweep_cover(
+        &mut orch,
         &cfg,
         Family::Grid { d: 2 },
         &cobra,
         &sides2,
-        trials,
         |n| 4000 + 500 * n,
         "cobra(k=2) on grid d=2",
     );
@@ -99,11 +103,11 @@ fn main() {
 
     let rw_sides2 = cfg.scale(vec![6usize, 8, 12, 16, 20], vec![8, 12, 16, 24, 32]);
     let t_rw2 = sweep_cover(
+        &mut orch,
         &cfg,
         Family::Grid { d: 2 },
         &rw,
         &rw_sides2,
-        trials,
         |n| 2000 * n * n + 50_000,
         "simple-rw on grid d=2",
     );
@@ -113,11 +117,11 @@ fn main() {
     // --- d = 3 (cobra only; RW is hopeless at useful sizes) ------------
     let sides3 = cfg.scale(vec![4usize, 5, 6, 8, 10], vec![6, 8, 10, 12, 16, 20]);
     let t_cobra3 = sweep_cover(
+        &mut orch,
         &cfg,
         Family::Grid { d: 3 },
         &cobra,
         &sides3,
-        trials,
         |n| 4000 + 800 * n,
         "cobra(k=2) on grid d=3",
     );
@@ -126,6 +130,8 @@ fn main() {
     classify_and_report(&t_cobra3);
 
     // --- Verdicts ------------------------------------------------------
+    println!();
+    orch.finish(&cfg);
     println!();
     verdict(
         "Theorem 3 (d=1): cobra cover exponent ≈ 1",

@@ -11,10 +11,9 @@
 use cobra_analysis::compare::{is_bounded_by, ratio_flatness};
 use cobra_analysis::growth::{classify_growth, GrowthShape};
 use cobra_bench::report::{banner, emit_table, verdict};
-use cobra_bench::{ExpConfig, Family};
+use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::{CobraWalk, SimpleWalk};
-use cobra_sim::runner::TrialPlan;
-use cobra_sim::sweep::{run_cover_sweep_cells, SweepCell};
+use cobra_sim::sweep::SweepCell;
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -24,8 +23,14 @@ fn main() {
         &cfg,
     );
 
+    let spec = ExperimentSpec::from_config(
+        "e4",
+        "Corollary 9: 2-cobra covers d-regular expanders in O(log\u{b2}n)",
+        &cfg,
+    );
+    let mut orch = Orchestrator::new(spec);
+
     let cobra = CobraWalk::standard();
-    let trials = cfg.scale(20, 60);
     let ns = cfg.scale(
         vec![128usize, 256, 512, 1024, 2048],
         vec![256, 512, 1024, 2048, 4096, 8192, 16384],
@@ -43,15 +48,15 @@ fn main() {
             let budget = (300.0 * logn * logn) as usize + 5_000;
             SweepCell::new(g.num_vertices() as f64, g, 0u32).with_budget(budget)
         });
-        let plan = TrialPlan::new(trials, 1, cfg.seed.wrapping_add((d * 100) as u64));
-        let mut table = run_cover_sweep_cells(
-            format!("cobra(k=2) on {}", fam.name()),
-            "n",
-            cells,
-            &cobra,
-            &plan,
-        )
-        .expect("an expander sweep cell completed zero trials — raise the budget");
+        let mut table = orch
+            .cover_sweep(
+                format!("cobra(k=2) on {}", fam.name()),
+                "n",
+                cells,
+                &cobra,
+                cfg.seed.wrapping_add((d * 100) as u64),
+            )
+            .expect("an expander sweep cell completed zero trials — raise the budget");
         for row in &mut table.rows {
             let logn = row.scale.ln();
             row.context.push(("log2n".to_string(), logn * logn));
@@ -94,15 +99,15 @@ fn main() {
         let budget = (200.0 * nn * nn.ln()) as usize + 10_000;
         SweepCell::new(nn, g, 0u32).with_budget(budget)
     });
-    let rw_plan = TrialPlan::new(trials, 1, cfg.seed.wrapping_add(9000));
-    let rw_table = run_cover_sweep_cells(
-        "simple-rw on random-regular(d=3)",
-        "n",
-        rw_cells,
-        &SimpleWalk::new(),
-        &rw_plan,
-    )
-    .expect("a contrast sweep cell completed zero trials — raise the budget");
+    let rw_table = orch
+        .cover_sweep(
+            "simple-rw on random-regular(d=3)",
+            "n",
+            rw_cells,
+            &SimpleWalk::new(),
+            cfg.seed.wrapping_add(9000),
+        )
+        .expect("a contrast sweep cell completed zero trials — raise the budget");
     emit_table(&cfg, &rw_table, "e4_rw_d3");
     let (rw_shape, _) = classify_growth(&rw_table.scales(), &rw_table.means());
     println!("simple-rw growth classification: {}", rw_shape.name());
@@ -112,4 +117,6 @@ fn main() {
         &format!("shape {}", rw_shape.name()),
     );
     verdict("Corollary 9 overall", all_pass, "all degrees polylog");
+    println!();
+    orch.finish(&cfg);
 }

@@ -16,12 +16,12 @@
 
 use cobra_analysis::fit::power_law_fit;
 use cobra_bench::report::{banner, emit_table, verdict};
-use cobra_bench::{ExpConfig, Family};
+use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::biased::{return_time_bound, MetropolisWalk};
 use cobra_core::process::Process;
 use cobra_core::{BiasedWalk, CobraWalk, SimpleWalk};
 use cobra_graph::metrics::farthest_vertex;
-use cobra_sim::runner::{run_hitting_trials, run_hitting_trials_typed, TrialPlan};
+use cobra_sim::runner::{run_hitting_trials, TrialPlan};
 use cobra_sim::seeds::SeedSequence;
 use cobra_sim::sweep::{SweepRow, SweepTable};
 use rand::rngs::StdRng;
@@ -35,7 +35,17 @@ fn main() {
         &cfg,
     );
 
+    let spec = ExperimentSpec::from_config(
+        "e7",
+        "Lemma 14 dominance + Theorem 15 hitting exponents + Corollary 17",
+        &cfg,
+    );
+    let mut orch = Orchestrator::new(spec);
+
     let seq = SeedSequence::new(cfg.seed);
+    // The dyn-route biased-walk reference keeps a fixed plan (its
+    // controller state is not `TypedProcess`); size it to the adaptive
+    // envelope's cap so its stderr stays comparable.
     let trials = cfg.scale(60, 200);
     let cobra = CobraWalk::standard();
 
@@ -56,14 +66,18 @@ fn main() {
         let start = 0u32;
         let (target, _) = farthest_vertex(&g, start);
         let budget = 400 * n * n + 100_000;
-        // Cobra side on the typed scratch engine; the biased walk keeps
-        // the dyn route (its controller state is not `TypedProcess`).
-        let out_c = run_hitting_trials_typed(
+        // Cobra side adaptively on the typed scratch engine; the biased
+        // walk keeps the dyn route (its controller state is not
+        // `TypedProcess`).
+        let out_c = orch.hitting_cell(
+            "lemma14 cobra hitting",
+            n as f64,
             &g,
             &cobra,
             start,
             target,
-            &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(k as u64)),
+            budget,
+            cfg.seed.wrapping_add(k as u64),
         );
         let biased = BiasedWalk::inverse_degree_toward(&g, target);
         let out_b = run_hitting_trials(
@@ -102,24 +116,30 @@ fn main() {
         let g = Family::Cycle.build(n, 0);
         let target = (n / 2) as u32;
         let budget = 100 * n * n + 50_000;
-        let out_c = run_hitting_trials_typed(
+        let out_c = orch.hitting_cell(
+            "thm15 cobra antipodal on cycle",
+            n as f64,
             &g,
             &cobra,
             0,
             target,
-            &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(7000 + i as u64)),
+            budget,
+            cfg.seed.wrapping_add(7000 + i as u64),
         );
         t_cobra.push(SweepRow::from_summary(
             n as f64,
             &out_c.summary,
             out_c.censored,
         ));
-        let out_r = run_hitting_trials_typed(
+        let out_r = orch.hitting_cell(
+            "thm15 simple-rw antipodal on cycle",
+            n as f64,
             &g,
             &SimpleWalk::new(),
             0,
             target,
-            &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(8000 + i as u64)),
+            budget,
+            cfg.seed.wrapping_add(8000 + i as u64),
         );
         t_rw.push(SweepRow::from_summary(
             n as f64,
@@ -199,4 +219,6 @@ fn main() {
         ret_ok,
         "5% slack for sampling noise",
     );
+    println!();
+    orch.finish(&cfg);
 }

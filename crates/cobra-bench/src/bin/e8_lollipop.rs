@@ -15,10 +15,10 @@
 use cobra_analysis::bootstrap::bootstrap_exponent_ci;
 use cobra_analysis::fit::power_law_fit;
 use cobra_bench::report::{banner, emit_table, verdict};
-use cobra_bench::{ExpConfig, Family};
+use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::{CobraWalk, SimpleWalk};
-use cobra_sim::runner::{run_cover_trials, TrialPlan};
 use cobra_sim::sweep::{SweepRow, SweepTable};
+use cobra_sim::StopRule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,13 +30,29 @@ fn main() {
         &cfg,
     );
 
+    // Lollipop cells are the workspace's most expensive (n\u{b3}-scale
+    // step budgets), so cap the adaptive envelope at a modest multiple
+    // of the old fixed plan instead of the run-wide default.
+    let rule = if cfg.full {
+        StopRule::new(20, 120, 0.02)
+    } else if cfg.quick {
+        StopRule::new(5, 15, 0.20)
+    } else {
+        StopRule::new(10, 60, 0.04)
+    };
+    let spec = ExperimentSpec::from_config(
+        "e8",
+        "Theorem 20: cobra cover on general graphs beats the RW's lollipop n\u{b3}",
+        &cfg,
+    )
+    .with_rule(rule);
+    let mut orch = Orchestrator::new(spec);
+
     let fam = Family::Lollipop;
     let ns = cfg.scale(
         vec![32usize, 48, 64, 96, 128, 192],
         vec![48, 64, 96, 128, 192, 256, 384],
     );
-    let trials = cfg.scale(15, 40);
-
     let cobra = CobraWalk::standard();
     let rw = SimpleWalk::new();
 
@@ -50,19 +66,25 @@ fn main() {
         let rw_budget = (1.5 * nf * nf * nf) as usize + 200_000;
         let cobra_budget = (4.0 * nf * nf * nf.ln()) as usize + 100_000;
 
-        let out_c = run_cover_trials(
+        let out_c = orch.cover_cell(
+            "cobra(k=2) cover on lollipop",
+            nf,
             &g,
             &cobra,
             start,
-            &TrialPlan::new(trials, cobra_budget, cfg.seed.wrapping_add(i as u64)),
+            cobra_budget,
+            cfg.seed.wrapping_add(i as u64),
         );
         t_cobra.push(SweepRow::from_summary(nf, &out_c.summary, out_c.censored));
 
-        let out_r = run_cover_trials(
+        let out_r = orch.cover_cell(
+            "simple-rw cover on lollipop",
+            nf,
             &g,
             &rw,
             start,
-            &TrialPlan::new(trials, rw_budget, cfg.seed.wrapping_add(500 + i as u64)),
+            rw_budget,
+            cfg.seed.wrapping_add(500 + i as u64),
         );
         t_rw.push(SweepRow::from_summary(nf, &out_r.summary, out_r.censored));
     }
@@ -126,4 +148,6 @@ fn main() {
         gap > 0.25,
         &format!("gap {gap:.3}"),
     );
+    println!();
+    orch.finish(&cfg);
 }

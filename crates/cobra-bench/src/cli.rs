@@ -1,5 +1,5 @@
 //! Minimal CLI parsing shared by the experiment binaries (no external
-//! argument-parsing dependency needed for three flags).
+//! argument-parsing dependency needed for a handful of flags).
 
 use std::path::PathBuf;
 
@@ -8,18 +8,29 @@ use std::path::PathBuf;
 pub struct ExpConfig {
     /// Paper-scale sweeps instead of CI-friendly ones.
     pub full: bool,
+    /// Smoke-test mode: CI-scale sweeps with a minimal adaptive trial
+    /// envelope (few trials, loose precision) — what the CI bench-smoke
+    /// job runs to exercise the orchestration path in seconds.
+    pub quick: bool,
     /// Master seed (default 0xC0BRA ≅ 0xC0B7A).
     pub seed: u64,
     /// If set, write CSV tables into this directory.
     pub csv_dir: Option<PathBuf>,
+    /// If set, write the per-run JSON manifest (per-cell trials used,
+    /// censoring, CI half-widths, precision flags) to this path. When
+    /// unset but `csv_dir` is given, the manifest lands next to the CSVs
+    /// as `<id>_manifest.json`.
+    pub manifest: Option<PathBuf>,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
         ExpConfig {
             full: false,
+            quick: false,
             seed: 0xC0B7A,
             csv_dir: None,
+            manifest: None,
         }
     }
 }
@@ -32,6 +43,7 @@ impl ExpConfig {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--full" => cfg.full = true,
+                "--quick" => cfg.quick = true,
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     cfg.seed = v.parse::<u64>().map_err(|e| format!("bad seed {v}: {e}"))?;
@@ -40,11 +52,22 @@ impl ExpConfig {
                     let v = it.next().ok_or("--csv needs a directory")?;
                     cfg.csv_dir = Some(PathBuf::from(v));
                 }
+                "--manifest" => {
+                    let v = it.next().ok_or("--manifest needs a path")?;
+                    cfg.manifest = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
-                    return Err("usage: <exp> [--full] [--seed <u64>] [--csv <dir>]".to_string())
+                    return Err(
+                        "usage: <exp> [--full | --quick] [--seed <u64>] [--csv <dir>] \
+                         [--manifest <path>]"
+                            .to_string(),
+                    )
                 }
                 other => return Err(format!("unknown argument: {other}")),
             }
+        }
+        if cfg.full && cfg.quick {
+            return Err("--full and --quick are mutually exclusive".to_string());
         }
         Ok(cfg)
     }
@@ -61,12 +84,24 @@ impl ExpConfig {
         }
     }
 
-    /// Pick between a CI-scale and a full-scale value.
+    /// Pick between a CI-scale and a full-scale value (`--quick` shares
+    /// the CI-scale sweeps; only the adaptive trial envelope shrinks).
     pub fn scale<T>(&self, ci: T, full: T) -> T {
         if self.full {
             full
         } else {
             ci
+        }
+    }
+
+    /// Human-readable mode name, as recorded in banners and manifests.
+    pub fn mode_name(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else if self.quick {
+            "quick"
+        } else {
+            "ci"
         }
     }
 }
@@ -83,13 +118,30 @@ mod tests {
     fn defaults() {
         let cfg = parse(&[]).unwrap();
         assert!(!cfg.full);
+        assert!(!cfg.quick);
         assert_eq!(cfg.seed, 0xC0B7A);
         assert!(cfg.csv_dir.is_none());
+        assert!(cfg.manifest.is_none());
+        assert_eq!(cfg.mode_name(), "ci");
     }
 
     #[test]
     fn full_flag() {
-        assert!(parse(&["--full"]).unwrap().full);
+        let cfg = parse(&["--full"]).unwrap();
+        assert!(cfg.full);
+        assert_eq!(cfg.mode_name(), "full");
+    }
+
+    #[test]
+    fn quick_flag() {
+        let cfg = parse(&["--quick"]).unwrap();
+        assert!(cfg.quick);
+        assert_eq!(cfg.mode_name(), "quick");
+    }
+
+    #[test]
+    fn quick_and_full_conflict() {
+        assert!(parse(&["--quick", "--full"]).is_err());
     }
 
     #[test]
@@ -103,6 +155,13 @@ mod tests {
     fn csv_flag() {
         let cfg = parse(&["--csv", "/tmp/out"]).unwrap();
         assert_eq!(cfg.csv_dir.unwrap(), PathBuf::from("/tmp/out"));
+    }
+
+    #[test]
+    fn manifest_flag() {
+        let cfg = parse(&["--manifest", "/tmp/run.json"]).unwrap();
+        assert_eq!(cfg.manifest.unwrap(), PathBuf::from("/tmp/run.json"));
+        assert!(parse(&["--manifest"]).is_err());
     }
 
     #[test]
@@ -122,5 +181,8 @@ mod tests {
         assert_eq!(ci.scale(10, 100), 10);
         let full = parse(&["--full"]).unwrap();
         assert_eq!(full.scale(10, 100), 100);
+        // Quick mode shares CI-scale sweeps.
+        let quick = parse(&["--quick"]).unwrap();
+        assert_eq!(quick.scale(10, 100), 10);
     }
 }

@@ -8,8 +8,17 @@
 //!
 //! * default mode — CI-friendly sizes (seconds to a few minutes);
 //! * `--full` — paper-scale sweeps;
+//! * `--quick` — smoke mode (CI-scale sweeps, minimal adaptive trial
+//!   envelope — what the CI bench-smoke job runs);
 //! * `--seed <u64>` — override the master seed;
-//! * `--csv <dir>` — also write each table as CSV.
+//! * `--csv <dir>` — also write each table as CSV;
+//! * `--manifest <path>` — write the per-run JSON manifest (per-cell
+//!   trials used, censoring, achieved CI half-width, precision flag).
+//!
+//! Sweep-style binaries run through the adaptive orchestrator
+//! ([`orchestrator::Orchestrator`]): per-cell trial counts follow a
+//! sequential stopping rule instead of a fixed plan, so easy cells stop
+//! early and hard cells keep sampling until their CI is tight.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the experiment ↔ claim
 //! index and recorded results.
@@ -19,7 +28,9 @@
 
 pub mod cli;
 pub mod families;
+pub mod orchestrator;
 pub mod report;
 
 pub use cli::ExpConfig;
 pub use families::Family;
+pub use orchestrator::{ExperimentSpec, Orchestrator};

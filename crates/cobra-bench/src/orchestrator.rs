@@ -1,0 +1,430 @@
+//! Adaptive experiment orchestration: one [`ExperimentSpec`] per binary,
+//! one [`Orchestrator`] per run.
+//!
+//! The orchestrator is the glue between the adaptive trial engine in
+//! `cobra-sim` and the experiment binaries: it owns the run-wide
+//! [`StopRule`] envelope (scaled by `--quick` / default / `--full`),
+//! runs whole sweeps or single cells through the batched adaptive
+//! runners, accumulates a per-cell audit trail, and at the end writes a
+//! JSON **run manifest** next to the CSV/Markdown output: per cell, the
+//! trials actually consumed, the censored count, the achieved CI
+//! half-width, and whether the precision target was met. The manifest is
+//! what makes an adaptive run auditable — a fixed-trial sweep's cost is
+//! visible in its plan, an adaptive sweep's cost only in its record.
+
+use crate::cli::ExpConfig;
+use cobra_core::TypedProcess;
+use cobra_graph::{Graph, Vertex};
+use cobra_sim::runner::AdaptiveOutcome;
+use cobra_sim::sweep::AdaptiveCellReport;
+use cobra_sim::{
+    run_cover_sweep_cells_adaptive, run_cover_trials_adaptive, run_hitting_trials_adaptive,
+    AdaptivePlan, EmptySummary, StopRule, SweepCell, SweepTable,
+};
+use std::path::PathBuf;
+
+/// What an experiment run is: identity, claim, mode, master seed, and
+/// the adaptive trial envelope every sweep in the run uses.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Experiment id (`"e1"`, `"e4"`, …) — names the manifest file when
+    /// only a CSV directory is given.
+    pub id: String,
+    /// One-line claim the experiment checks.
+    pub claim: String,
+    /// Mode name (`"quick"` / `"ci"` / `"full"`), echoed into the
+    /// manifest so recorded runs are self-describing.
+    pub mode: String,
+    /// Master seed for the run (sweeps derive their own streams).
+    pub seed: u64,
+    /// Sequential stopping envelope for every adaptive sweep/cell.
+    pub rule: StopRule,
+    /// Trials launched in parallel between CI consultations.
+    pub batch: usize,
+}
+
+impl ExperimentSpec {
+    /// The default adaptive envelope for a mode:
+    ///
+    /// * `--quick` — a handful of trials at loose precision (smoke);
+    /// * default (CI) — stop at 4% relative CI half-width, 10..=120
+    ///   trials per cell;
+    /// * `--full` — 2% half-width, 24..=400 trials per cell.
+    ///
+    /// Easy (low-variance) cells stop at the minimum; hard cells run
+    /// until the CI is tight or the cap is hit, and the manifest records
+    /// which happened.
+    pub fn from_config(id: &str, claim: &str, cfg: &ExpConfig) -> Self {
+        let (rule, batch) = if cfg.full {
+            (StopRule::new(24, 400, 0.02), 32)
+        } else if cfg.quick {
+            (StopRule::new(6, 20, 0.20), 8)
+        } else {
+            (StopRule::new(10, 120, 0.04), 16)
+        };
+        ExperimentSpec {
+            id: id.to_string(),
+            claim: claim.to_string(),
+            mode: cfg.mode_name().to_string(),
+            seed: cfg.seed,
+            rule,
+            batch,
+        }
+    }
+
+    /// Override the stopping envelope (builder style) — binaries whose
+    /// cells are unusually expensive (e8's lollipop baseline) or whose
+    /// comparisons need unusually tight means (e7's dominance check)
+    /// tune the defaults.
+    pub fn with_rule(mut self, rule: StopRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// An [`AdaptivePlan`] of this spec at a given step budget and
+    /// master seed.
+    pub fn plan(&self, max_steps: usize, master_seed: u64) -> AdaptivePlan {
+        AdaptivePlan::new(self.rule, self.batch, max_steps, master_seed)
+    }
+}
+
+/// One manifest line: a measured cell and how much it cost.
+#[derive(Clone, Debug)]
+struct ManifestCell {
+    sweep: String,
+    report: AdaptiveCellReport,
+    mean: f64,
+}
+
+/// Runs adaptive sweeps/cells for one experiment and accumulates the
+/// per-cell audit trail; [`Orchestrator::finish`] writes the manifest.
+#[derive(Debug)]
+pub struct Orchestrator {
+    spec: ExperimentSpec,
+    cells: Vec<ManifestCell>,
+}
+
+impl Orchestrator {
+    /// Start a run.
+    pub fn new(spec: ExperimentSpec) -> Self {
+        Orchestrator {
+            spec,
+            cells: Vec::new(),
+        }
+    }
+
+    /// The run's spec (mode, rule, seed).
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Run a whole cover sweep adaptively (cells carry per-cell step
+    /// budgets; per-cell seeds derive from `master_seed` exactly as in
+    /// the fixed-trial sweep) and record every cell in the manifest.
+    pub fn cover_sweep(
+        &mut self,
+        label: impl Into<String>,
+        scale_name: impl Into<String>,
+        cells: impl IntoIterator<Item = SweepCell>,
+        process: &(impl TypedProcess + Sync),
+        master_seed: u64,
+    ) -> Result<SweepTable, EmptySummary> {
+        let label = label.into();
+        // Budget is per cell; the plan's own max_steps is a fallback for
+        // cells without one. 1 is never used unless a cell omits its
+        // budget, matching the fixed-sweep calling convention.
+        let plan = self.spec.plan(1, master_seed);
+        let sweep =
+            run_cover_sweep_cells_adaptive(label.clone(), scale_name, cells, process, &plan)?;
+        for (report, row) in sweep.reports.iter().zip(&sweep.table.rows) {
+            self.cells.push(ManifestCell {
+                sweep: label.clone(),
+                report: report.clone(),
+                mean: row.mean,
+            });
+        }
+        Ok(sweep.table)
+    }
+
+    /// Measure one cover cell adaptively and record it.
+    #[allow(clippy::too_many_arguments)] // mirrors run_cover_trials' shape
+    pub fn cover_cell(
+        &mut self,
+        sweep: &str,
+        scale: f64,
+        g: &Graph,
+        process: &(impl TypedProcess + Sync),
+        start: Vertex,
+        max_steps: usize,
+        master_seed: u64,
+    ) -> AdaptiveOutcome {
+        let plan = self.spec.plan(max_steps, master_seed);
+        let out = run_cover_trials_adaptive(g, process, start, &plan);
+        self.record(sweep, scale, &out);
+        out
+    }
+
+    /// Measure one hitting cell adaptively and record it.
+    #[allow(clippy::too_many_arguments)] // mirrors run_hitting_trials' shape
+    pub fn hitting_cell(
+        &mut self,
+        sweep: &str,
+        scale: f64,
+        g: &Graph,
+        process: &(impl TypedProcess + Sync),
+        start: Vertex,
+        target: Vertex,
+        max_steps: usize,
+        master_seed: u64,
+    ) -> AdaptiveOutcome {
+        let plan = self.spec.plan(max_steps, master_seed);
+        let out = run_hitting_trials_adaptive(g, process, start, target, &plan);
+        self.record(sweep, scale, &out);
+        out
+    }
+
+    fn record(&mut self, sweep: &str, scale: f64, out: &AdaptiveOutcome) {
+        let report = AdaptiveCellReport::from_outcome(scale, out, self.spec.rule.confidence);
+        let mean = out.summary.try_mean().unwrap_or(f64::NAN);
+        self.cells.push(ManifestCell {
+            sweep: sweep.to_string(),
+            report,
+            mean,
+        });
+    }
+
+    /// Total trials consumed so far across all recorded cells.
+    pub fn total_trials(&self) -> usize {
+        self.cells.iter().map(|c| c.report.trials_used).sum()
+    }
+
+    /// Cells that met the precision target so far.
+    pub fn precise_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.report.precision_met).count()
+    }
+
+    /// Render the run manifest as JSON (hand-rolled, like the bench
+    /// baselines — no serde in the workspace).
+    pub fn render_manifest(&self) -> String {
+        let r = &self.spec.rule;
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"cobra-bench/run-manifest-v1\",\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n  \"claim\": \"{}\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n",
+            escape(&self.spec.id),
+            escape(&self.spec.claim),
+            escape(&self.spec.mode),
+            self.spec.seed
+        ));
+        out.push_str(&format!(
+            "  \"rule\": {{\"min_trials\": {}, \"max_trials\": {}, \"rel_precision\": {}, \
+             \"confidence\": {}, \"batch\": {}}},\n",
+            r.min_trials, r.max_trials, r.rel_precision, r.confidence, self.spec.batch
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let rep = &c.report;
+            out.push_str(&format!(
+                "    {{\"sweep\": \"{}\", \"scale\": {}, \"trials_used\": {}, \
+                 \"completed\": {}, \"censored\": {}, \"mean\": {}, \"ci_half_width\": {:.6}, \
+                 \"rel_half_width\": {:.6}, \"precision_met\": {}}}{}\n",
+                escape(&c.sweep),
+                rep.scale,
+                rep.trials_used,
+                rep.completed,
+                rep.censored,
+                if c.mean.is_finite() {
+                    format!("{:.4}", c.mean)
+                } else {
+                    "null".to_string()
+                },
+                rep.ci_half_width,
+                rep.rel_half_width,
+                rep.precision_met,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let censored: usize = self.cells.iter().map(|c| c.report.censored).sum();
+        out.push_str(&format!(
+            "  \"totals\": {{\"cells\": {}, \"trials_used\": {}, \"censored\": {}, \
+             \"precision_met_cells\": {}}}\n",
+            self.cells.len(),
+            self.total_trials(),
+            censored,
+            self.precise_cells()
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Where the manifest goes for a config: the explicit `--manifest`
+    /// path, else `<csv_dir>/<id>_manifest.json`, else nowhere.
+    pub fn manifest_path(&self, cfg: &ExpConfig) -> Option<PathBuf> {
+        cfg.manifest.clone().or_else(|| {
+            cfg.csv_dir
+                .as_ref()
+                .map(|d| d.join(format!("{}_manifest.json", self.spec.id)))
+        })
+    }
+
+    /// Print the run's cost line and write the JSON manifest (if the
+    /// config names a destination). Call once, after the last sweep.
+    pub fn finish(self, cfg: &ExpConfig) {
+        println!(
+            "adaptive run: {} cells, {} trials consumed, {}/{} cells met \
+             the {:.1}% half-width target",
+            self.cells.len(),
+            self.total_trials(),
+            self.precise_cells(),
+            self.cells.len(),
+            self.spec.rule.rel_precision * 100.0
+        );
+        if let Some(path) = self.manifest_path(cfg) {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("cannot create {}: {e}", parent.display());
+                        return;
+                    }
+                }
+            }
+            match std::fs::write(&path, self.render_manifest()) {
+                Ok(()) => println!("(run manifest written to {})", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping for labels (quotes and backslashes; the
+/// labels are plain ASCII otherwise).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_core::CobraWalk;
+    use cobra_graph::generators::classic;
+
+    fn ci_cfg() -> ExpConfig {
+        ExpConfig::default()
+    }
+
+    #[test]
+    fn spec_modes_scale_the_envelope() {
+        let quick = ExperimentSpec::from_config(
+            "eX",
+            "c",
+            &ExpConfig {
+                quick: true,
+                ..ExpConfig::default()
+            },
+        );
+        let ci = ExperimentSpec::from_config("eX", "c", &ci_cfg());
+        let full = ExperimentSpec::from_config(
+            "eX",
+            "c",
+            &ExpConfig {
+                full: true,
+                ..ExpConfig::default()
+            },
+        );
+        assert!(quick.rule.max_trials < ci.rule.max_trials);
+        assert!(ci.rule.max_trials < full.rule.max_trials);
+        assert!(quick.rule.rel_precision > ci.rule.rel_precision);
+        assert!(ci.rule.rel_precision > full.rule.rel_precision);
+        assert_eq!(quick.mode, "quick");
+        assert_eq!(ci.mode, "ci");
+        assert_eq!(full.mode, "full");
+    }
+
+    #[test]
+    fn cell_runs_record_into_manifest() {
+        let spec = ExperimentSpec::from_config("eT", "test claim", &ci_cfg());
+        let mut orch = Orchestrator::new(spec);
+        let g = classic::complete(12).unwrap();
+        let out = orch.cover_cell("k12", 12.0, &g, &CobraWalk::standard(), 0, 10_000, 7);
+        assert!(out.precision_met);
+        assert_eq!(orch.cells.len(), 1);
+        assert_eq!(orch.total_trials(), out.trials_run());
+        assert_eq!(orch.precise_cells(), 1);
+        let json = orch.render_manifest();
+        assert!(json.contains("\"schema\": \"cobra-bench/run-manifest-v1\""));
+        assert!(json.contains("\"sweep\": \"k12\""));
+        assert!(json.contains("\"precision_met\": true"));
+        assert!(json.contains("\"experiment\": \"eT\""));
+    }
+
+    #[test]
+    fn sweep_runs_record_every_cell() {
+        let spec = ExperimentSpec::from_config("eS", "sweep claim", &ci_cfg());
+        let mut orch = Orchestrator::new(spec);
+        let cells = [8usize, 12].map(|n| {
+            SweepCell::new(n as f64, classic::cycle(n).unwrap(), 0u32).with_budget(50_000)
+        });
+        let t = orch
+            .cover_sweep("cobra on cycle", "n", cells, &CobraWalk::standard(), 3)
+            .unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(orch.cells.len(), 2);
+        // Adaptive trial counts land inside the envelope.
+        for c in &orch.cells {
+            assert!(c.report.trials_used >= orch.spec.rule.min_trials);
+            assert!(c.report.trials_used <= orch.spec.rule.max_trials);
+        }
+    }
+
+    #[test]
+    fn manifest_path_prefers_explicit_flag() {
+        let spec = ExperimentSpec::from_config("e9", "c", &ci_cfg());
+        let orch = Orchestrator::new(spec);
+        let explicit = ExpConfig {
+            manifest: Some(PathBuf::from("/tmp/m.json")),
+            csv_dir: Some(PathBuf::from("/tmp/csvs")),
+            ..ExpConfig::default()
+        };
+        assert_eq!(
+            orch.manifest_path(&explicit).unwrap(),
+            PathBuf::from("/tmp/m.json")
+        );
+        let via_csv = ExpConfig {
+            csv_dir: Some(PathBuf::from("/tmp/csvs")),
+            ..ExpConfig::default()
+        };
+        assert_eq!(
+            orch.manifest_path(&via_csv).unwrap(),
+            PathBuf::from("/tmp/csvs/e9_manifest.json")
+        );
+        assert!(orch.manifest_path(&ExpConfig::default()).is_none());
+    }
+
+    #[test]
+    fn fully_censored_cell_is_recorded_not_fatal() {
+        let spec = ExperimentSpec::from_config(
+            "eC",
+            "censor",
+            &ExpConfig {
+                quick: true,
+                ..ExpConfig::default()
+            },
+        );
+        let mut orch = Orchestrator::new(spec);
+        let g = classic::path(60).unwrap();
+        // 5 steps cannot cover a 60-path: every trial censors.
+        let out = orch.cover_cell("starved", 60.0, &g, &cobra_core::SimpleWalk::new(), 0, 5, 1);
+        assert!(!out.precision_met);
+        assert_eq!(out.summary.count(), 0);
+        let json = orch.render_manifest();
+        assert!(json.contains("\"precision_met\": false"));
+        assert!(json.contains("\"mean\": null"));
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

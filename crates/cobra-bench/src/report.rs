@@ -57,10 +57,10 @@ pub fn banner(id: &str, claim: &str, cfg: &ExpConfig) {
     println!("{id}: {claim}");
     println!(
         "mode = {}, master seed = {}",
-        if cfg.full {
-            "FULL (paper scale)"
-        } else {
-            "CI (reduced scale)"
+        match cfg.mode_name() {
+            "full" => "FULL (paper scale)",
+            "quick" => "QUICK (smoke: minimal adaptive envelope)",
+            _ => "CI (reduced scale)",
         },
         cfg.seed
     );

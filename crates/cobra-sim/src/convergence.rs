@@ -2,9 +2,14 @@
 //! tight enough (or a budget is exhausted).
 //!
 //! Long sweeps waste most of their time over-sampling easy cells; the
-//! adaptive runner keeps per-cell cost proportional to variance.
+//! adaptive runner keeps per-cell cost proportional to variance. The
+//! serial loop lives here ([`run_until_precise`]); the batched parallel
+//! engine that the sweeps actually run through is
+//! [`crate::runner::run_cover_trials_adaptive`] and friends, which share
+//! this module's [`StopRule`] and are defined to be bit-identical to the
+//! serial loop's stopping decision.
 
-use crate::stats::Summary;
+use crate::stats::{z_for_level, Summary};
 
 /// Stopping criteria for adaptive trial loops.
 #[derive(Clone, Copy, Debug)]
@@ -16,10 +21,15 @@ pub struct StopRule {
     /// Target relative CI half-width: stop when
     /// `z·stderr / mean ≤ rel_precision`.
     pub rel_precision: f64,
+    /// Confidence level of the CI the rule consults (0.90/0.95/0.99);
+    /// `z` comes from the same [`z_for_level`] table as
+    /// [`Summary::mean_ci`], so a rule at 0.99 really is stricter than
+    /// one at 0.95 instead of silently using a hard-coded 1.96.
+    pub confidence: f64,
 }
 
 impl StopRule {
-    /// A rule with sanity checks.
+    /// A rule with sanity checks, at the default 95% confidence level.
     pub fn new(min_trials: usize, max_trials: usize, rel_precision: f64) -> Self {
         assert!(min_trials >= 2, "need >= 2 trials for a stderr");
         assert!(max_trials >= min_trials, "max >= min");
@@ -28,7 +38,16 @@ impl StopRule {
             min_trials,
             max_trials,
             rel_precision,
+            confidence: 0.95,
         }
+    }
+
+    /// Override the confidence level (builder style). Panics on levels
+    /// outside the shared z-table (0.90/0.95/0.99).
+    pub fn with_confidence(mut self, level: f64) -> Self {
+        let _ = z_for_level(level); // validate eagerly
+        self.confidence = level;
+        self
     }
 
     /// Whether the summary satisfies the precision target.
@@ -41,22 +60,73 @@ impl StopRule {
             // Degenerate: all-zero measurements are already exact.
             return summary.stddev() == 0.0;
         }
-        1.96 * summary.stderr() / mean.abs() <= self.rel_precision
+        summary.ci_half_width(self.confidence) / mean.abs() <= self.rel_precision
+    }
+}
+
+/// How an adaptive batch of trials runs: the stopping rule, the batch
+/// size between CI consultations, and the per-trial plan fields shared
+/// with [`crate::runner::TrialPlan`].
+///
+/// The seeding invariant: trial `i` of the run — **globally indexed**,
+/// regardless of which batch or worker executes it — draws its RNG from
+/// `SeedSequence::new(master_seed).seed_at(i)`, and the stopping decision
+/// is evaluated as if the CI were consulted after every trial in global
+/// index order. Batches only decide how much work runs *speculatively*
+/// in parallel before the next consultation; trials past the stopping
+/// index are discarded. Results are therefore bit-identical across
+/// worker counts and batch sizes, and to the serial
+/// [`run_until_precise`] loop over the same per-trial outcomes.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptivePlan {
+    /// When to stop.
+    pub rule: StopRule,
+    /// Trials launched in parallel between CI consultations.
+    pub batch: usize,
+    /// Per-trial round budget (trials that exhaust it are censored).
+    pub max_steps: usize,
+    /// Master seed; trial `i` uses `SeedSequence::new(master).seed_at(i)`.
+    pub master_seed: u64,
+}
+
+impl AdaptivePlan {
+    /// Convenience constructor.
+    pub fn new(rule: StopRule, batch: usize, max_steps: usize, master_seed: u64) -> Self {
+        assert!(batch >= 1, "need a positive batch size");
+        assert!(max_steps >= 1, "need a positive step budget");
+        AdaptivePlan {
+            rule,
+            batch,
+            max_steps,
+            master_seed,
+        }
+    }
+
+    /// A plan with the same stopping semantics but a different step
+    /// budget (sweep cells carry per-cell budgets).
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        assert!(max_steps >= 1, "need a positive step budget");
+        self.max_steps = max_steps;
+        self
     }
 }
 
 /// Run `trial(i)` adaptively until the rule is satisfied or `max_trials`
 /// is hit; returns the summary and whether the precision target was met.
+///
+/// Serial reference loop: the parallel engine in [`crate::runner`] is
+/// pinned (tests/adaptive.rs) to stop at exactly the same trial index.
 pub fn run_until_precise<F: FnMut(usize) -> f64>(rule: &StopRule, mut trial: F) -> (Summary, bool) {
     let mut summary = Summary::new();
     for i in 0..rule.max_trials {
         summary.push(trial(i));
-        if i + 1 >= rule.min_trials && rule.satisfied(&summary) {
+        // `satisfied` already enforces `min_trials`, so no separate
+        // warm-up guard here.
+        if rule.satisfied(&summary) {
             return (summary, true);
         }
     }
-    let ok = rule.satisfied(&summary);
-    (summary, ok)
+    (summary, false)
 }
 
 #[cfg(test)]
@@ -100,6 +170,48 @@ mod tests {
     }
 
     #[test]
+    fn higher_confidence_needs_more_trials() {
+        // The satellite bug this pins: with z hard-coded at 1.96, a 0.99
+        // rule would stop exactly where a 0.95 rule does. Through the
+        // shared z-table the 0.99 rule (z = 2.5758) must demand a tighter
+        // stderr and therefore more trials on the same data stream.
+        let run = |confidence: f64| {
+            let mut rng = StdRng::seed_from_u64(77);
+            let rule = StopRule::new(5, 100_000, 0.02).with_confidence(confidence);
+            let (s, ok) = run_until_precise(&rule, |_| 10.0 + 4.0 * (rng.random::<f64>() - 0.5));
+            assert!(ok);
+            s.count()
+        };
+        let at90 = run(0.90);
+        let at95 = run(0.95);
+        let at99 = run(0.99);
+        assert!(
+            at90 <= at95 && at95 < at99,
+            "trial counts must be monotone in confidence: {at90} / {at95} / {at99}"
+        );
+    }
+
+    #[test]
+    fn default_confidence_matches_mean_ci_width() {
+        // One z-table: the rule's threshold quantity must be exactly the
+        // half-width `mean_ci(0.95)` reports.
+        let s = Summary::from_slice(&[3.0, 5.0, 7.0, 9.0, 11.0]);
+        let (lo, hi) = s.mean_ci(0.95);
+        let half = (hi - lo) / 2.0;
+        assert!((s.ci_half_width(0.95) - half).abs() < 1e-12);
+        let rule = StopRule::new(2, 10, half / s.mean() + 1e-12);
+        assert!(rule.satisfied(&s));
+        let stricter = StopRule::new(2, 10, half / s.mean() - 1e-9);
+        assert!(!stricter.satisfied(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn rejects_unknown_confidence() {
+        let _ = StopRule::new(2, 10, 0.1).with_confidence(0.5);
+    }
+
+    #[test]
     fn budget_exhaustion_reports_failure() {
         let mut rng = StdRng::seed_from_u64(2);
         // Extremely noisy data, tiny budget, very tight target.
@@ -113,5 +225,11 @@ mod tests {
     #[should_panic(expected = "max >= min")]
     fn rejects_inverted_bounds() {
         StopRule::new(10, 5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive batch")]
+    fn plan_rejects_zero_batch() {
+        AdaptivePlan::new(StopRule::new(2, 10, 0.1), 0, 100, 1);
     }
 }

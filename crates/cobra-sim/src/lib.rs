@@ -11,7 +11,10 @@
 //! * [`sweep`] — parameter sweeps producing result rows;
 //! * [`table`] — CSV and aligned-Markdown writers for result tables
 //!   (hand-rolled: no serde needed);
-//! * [`convergence`] — run-until-CI-tight sequential stopping.
+//! * [`convergence`] — run-until-CI-tight sequential stopping: the
+//!   [`convergence::StopRule`] and [`convergence::AdaptivePlan`] behind
+//!   the batched adaptive runners in [`runner`] and the adaptive sweeps
+//!   in [`sweep`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,11 +26,16 @@ pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use convergence::{run_until_precise, AdaptivePlan, StopRule};
 pub use runner::{
-    run_cover_trials, run_cover_trials_typed, run_hitting_trials, run_hitting_trials_typed,
-    TrialOutcome, TrialPlan,
+    run_cover_trials, run_cover_trials_adaptive, run_cover_trials_typed, run_hitting_trials,
+    run_hitting_trials_adaptive, run_hitting_trials_typed, AdaptiveOutcome, TrialOutcome,
+    TrialPlan,
 };
 pub use seeds::SeedSequence;
-pub use stats::{EmptySummary, Summary};
-pub use sweep::{run_cover_sweep, run_cover_sweep_cells, SweepCell, SweepRow, SweepTable};
+pub use stats::{quantile_sorted, z_for_level, EmptySummary, Summary};
+pub use sweep::{
+    run_cover_sweep, run_cover_sweep_cells, run_cover_sweep_cells_adaptive, AdaptiveCellReport,
+    AdaptiveSweep, SweepCell, SweepRow, SweepTable,
+};
 pub use table::{render_csv, render_markdown};

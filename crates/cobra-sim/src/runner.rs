@@ -4,12 +4,11 @@
 //! deterministically derived RNG (see [`crate::seeds`]), so results are
 //! bit-reproducible regardless of thread scheduling.
 
+use crate::convergence::AdaptivePlan;
 use crate::seeds::SeedSequence;
 use crate::stats::{EmptySummary, Summary};
 use cobra_core::{CoverDriver, HittingDriver, Process, TrialScratch, TypedProcess};
 use cobra_graph::{Graph, NeighborSampler, Vertex};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rayon::prelude::*;
 
 /// How many trials to run and how long each may take.
@@ -97,7 +96,7 @@ pub fn run_cover_trials<P: Process + ?Sized>(
     let times: Vec<Option<usize>> = (0..plan.trials)
         .into_par_iter()
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let mut rng = seq.rng_at(i as u64);
             let res = CoverDriver::new(g)
                 .run(&process, start, plan.max_steps, &mut rng)
                 .expect("non-empty graph");
@@ -130,7 +129,7 @@ pub fn run_cover_trials_typed<P: TypedProcess + Sync>(
         .map_init(
             || TrialScratch::new(g),
             |scratch, i| {
-                let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+                let mut rng = seq.rng_at(i as u64);
                 let res = driver
                     .run_typed_in(process, &sampler, scratch, start, plan.max_steps, &mut rng)
                     .expect("non-empty graph");
@@ -154,7 +153,7 @@ pub fn run_hitting_trials<P: Process + ?Sized>(
     let times: Vec<Option<usize>> = (0..plan.trials)
         .into_par_iter()
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let mut rng = seq.rng_at(i as u64);
             let res = HittingDriver::new(g).run(&process, start, target, plan.max_steps, &mut rng);
             res.hit.then_some(res.steps)
         })
@@ -181,7 +180,7 @@ pub fn run_hitting_trials_typed<P: TypedProcess + Sync>(
         .map_init(
             || TrialScratch::new(g),
             |scratch, i| {
-                let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+                let mut rng = seq.rng_at(i as u64);
                 let res = driver.run_typed_in(
                     process,
                     &sampler,
@@ -198,11 +197,278 @@ pub fn run_hitting_trials_typed<P: TypedProcess + Sync>(
     aggregate(times)
 }
 
+/// Outcome of an adaptive (sequentially stopped) batch of trials.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOutcome {
+    /// Summary of the measured times over **completed** trials, exactly
+    /// the prefix `0..trials_run()` of the plan's global trial stream.
+    pub summary: Summary,
+    /// Censored trials within that prefix (budget exhausted). Censored
+    /// trials count against `rule.max_trials` but never enter `summary`,
+    /// so a fully censored cell simply runs to the cap and reports
+    /// `precision_met = false` instead of panicking.
+    pub censored: usize,
+    /// Whether the stop rule's precision target was met before the
+    /// trial cap.
+    pub precision_met: bool,
+}
+
+impl AdaptiveOutcome {
+    /// Total trials consumed (completed + censored).
+    pub fn trials_run(&self) -> usize {
+        self.summary.count() + self.censored
+    }
+
+    /// Fraction of consumed trials that completed.
+    pub fn completion_rate(&self) -> f64 {
+        let total = self.trials_run();
+        if total == 0 {
+            0.0
+        } else {
+            self.summary.count() as f64 / total as f64
+        }
+    }
+
+    /// The summary over completed trials, or `Err(EmptySummary)` when
+    /// every trial was censored.
+    pub fn completed_summary(&self) -> Result<&Summary, EmptySummary> {
+        if self.summary.count() == 0 {
+            Err(EmptySummary)
+        } else {
+            Ok(&self.summary)
+        }
+    }
+
+    /// View as a fixed-plan [`TrialOutcome`] (drops the precision flag),
+    /// for code that post-processes both kinds of run uniformly.
+    pub fn to_trial_outcome(&self) -> TrialOutcome {
+        TrialOutcome {
+            summary: self.summary.clone(),
+            censored: self.censored,
+        }
+    }
+}
+
+/// The adaptive batch engine shared by the cover and hitting runners.
+///
+/// Semantics: trials are conceptually consumed one at a time in global
+/// index order, with the stop rule consulted after every trial — exactly
+/// the serial [`crate::convergence::run_until_precise`] loop. Execution
+/// runs `plan.batch` trials ahead speculatively in worker-parallel
+/// batches (per-worker scratch via `map_init`, per-trial RNGs from the
+/// global index), then replays the batch serially against the rule and
+/// **discards** any trials past the stopping index. Because each trial's
+/// outcome depends only on its global index, and the stopping index
+/// depends only on the ordered prefix of outcomes, the result is
+/// bit-identical across worker counts and batch sizes; batch size only
+/// trades a little discarded speculation against synchronization.
+fn run_adaptive_batches<S, Init, Trial>(
+    plan: &AdaptivePlan,
+    init: Init,
+    trial: Trial,
+) -> AdaptiveOutcome
+where
+    Init: Fn() -> S + Sync,
+    Trial: Fn(&mut S, usize) -> Option<usize> + Sync,
+{
+    let rule = plan.rule;
+    let mut summary = Summary::new();
+    let mut censored = 0usize;
+    let mut consumed = 0usize;
+    let mut met = false;
+    while consumed < rule.max_trials && !met {
+        // Never launch past the cap, and never speculate past the first
+        // point the rule could actually fire: the opening batch runs
+        // exactly to `min_trials` (an easy cell then computes the
+        // minimum and nothing more), later batches extend by
+        // `plan.batch`. Speculation depth never changes results — only
+        // how much computed-then-discarded work a stop can strand.
+        let horizon = if consumed < rule.min_trials {
+            rule.min_trials
+        } else {
+            consumed + plan.batch
+        };
+        let hi = horizon.min(rule.max_trials);
+        let times: Vec<Option<usize>> = (consumed..hi)
+            .into_par_iter()
+            .map_init(&init, |scratch, i| trial(scratch, i))
+            .collect();
+        for t in times {
+            consumed += 1;
+            match t {
+                Some(steps) => {
+                    summary.push(steps as f64);
+                    if rule.satisfied(&summary) {
+                        met = true;
+                        break;
+                    }
+                }
+                None => censored += 1,
+            }
+        }
+    }
+    AdaptiveOutcome {
+        summary,
+        censored,
+        precision_met: met,
+    }
+}
+
+/// Adaptive variant of [`run_cover_trials_typed`]: runs cover trials in
+/// worker-parallel batches on the scratch+sampler path until
+/// `plan.rule` is satisfied (or its trial cap is hit). Trial `i` draws
+/// the same RNG as in the fixed-plan runner, so an adaptive run that
+/// consumes `n` trials reproduces the fixed runner's first `n` trials
+/// bit-for-bit, at any worker count and batch size.
+pub fn run_cover_trials_adaptive<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &AdaptivePlan,
+) -> AdaptiveOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let driver = CoverDriver::new(g);
+    run_adaptive_batches(
+        plan,
+        || TrialScratch::new(g),
+        |scratch, i| {
+            let mut rng = seq.rng_at(i as u64);
+            let res = driver
+                .run_typed_in(process, &sampler, scratch, start, plan.max_steps, &mut rng)
+                .expect("non-empty graph");
+            res.completed.then_some(res.steps)
+        },
+    )
+}
+
+/// Adaptive variant of [`run_hitting_trials_typed`]; same engine and
+/// seeding invariants as [`run_cover_trials_adaptive`].
+pub fn run_hitting_trials_adaptive<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    target: Vertex,
+    plan: &AdaptivePlan,
+) -> AdaptiveOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let driver = HittingDriver::new(g);
+    run_adaptive_batches(
+        plan,
+        || TrialScratch::new(g),
+        |scratch, i| {
+            let mut rng = seq.rng_at(i as u64);
+            let res = driver.run_typed_in(
+                process,
+                &sampler,
+                scratch,
+                start,
+                target,
+                plan.max_steps,
+                &mut rng,
+            );
+            res.hit.then_some(res.steps)
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::convergence::StopRule;
     use cobra_core::{CobraWalk, SimpleWalk};
     use cobra_graph::generators::classic;
+
+    #[test]
+    fn adaptive_prefix_matches_fixed_runner_bitwise() {
+        // An adaptive run that consumes n trials must reproduce the fixed
+        // runner's first n trials exactly — same seeds, same values.
+        let g = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let rule = StopRule::new(8, 200, 0.05);
+        let plan = AdaptivePlan::new(rule, 16, 100_000, 77);
+        let out = run_cover_trials_adaptive(&g, &cobra, 0, &plan);
+        assert!(out.precision_met);
+        let n = out.trials_run();
+        assert!((rule.min_trials..=rule.max_trials).contains(&n));
+        let fixed = run_cover_trials_typed(&g, &cobra, 0, &TrialPlan::new(n, 100_000, 77));
+        assert_eq!(out.summary.count(), fixed.summary.count());
+        assert_eq!(out.censored, fixed.censored);
+        assert_eq!(out.summary.mean(), fixed.summary.mean());
+        assert_eq!(out.summary.median(), fixed.summary.median());
+        assert_eq!(out.summary.min(), fixed.summary.min());
+        assert_eq!(out.summary.max(), fixed.summary.max());
+    }
+
+    #[test]
+    fn adaptive_stop_matches_serial_reference() {
+        // The engine's stopping index must equal the serial loop's:
+        // replay the same per-trial outcomes through run_until_precise.
+        let g = classic::complete(16).unwrap();
+        let cobra = CobraWalk::standard();
+        let rule = StopRule::new(6, 500, 0.04);
+        for batch in [1usize, 7, 64] {
+            let plan = AdaptivePlan::new(rule, batch, 10_000, 0xAB);
+            let out = run_cover_trials_adaptive(&g, &cobra, 0, &plan);
+            assert!(out.precision_met);
+            // Serial oracle: feed the same trial values (complete graph
+            // cover always completes) one at a time.
+            let seq = SeedSequence::new(plan.master_seed);
+            let driver = CoverDriver::new(&g);
+            let (oracle, ok) = crate::convergence::run_until_precise(&rule, |i| {
+                let mut rng = seq.rng_at(i as u64);
+                let res = driver
+                    .run_typed(&cobra, 0, plan.max_steps, &mut rng)
+                    .unwrap();
+                assert!(res.completed);
+                res.steps as f64
+            });
+            assert!(ok);
+            assert_eq!(out.summary.count(), oracle.count(), "batch {batch}");
+            assert_eq!(out.summary.mean(), oracle.mean(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn adaptive_hitting_runs_and_meets_precision() {
+        let g = classic::complete(8).unwrap();
+        let cobra = CobraWalk::standard();
+        let rule = StopRule::new(10, 2000, 0.05);
+        let plan = AdaptivePlan::new(rule, 32, 10_000, 5);
+        let out = run_hitting_trials_adaptive(&g, &cobra, 0, 3, &plan);
+        assert!(out.precision_met);
+        assert_eq!(out.censored, 0);
+        assert!(out.summary.mean() > 0.0);
+        assert!(out.trials_run() <= rule.max_trials);
+    }
+
+    #[test]
+    fn adaptive_fully_censored_cell_reports_not_met() {
+        // A 5-step budget cannot cover a 60-path: every trial censors.
+        // The engine must run to the trial cap and report failure as a
+        // value, not a panic.
+        let g = classic::path(60).unwrap();
+        let rule = StopRule::new(4, 24, 0.1);
+        let plan = AdaptivePlan::new(rule, 10, 5, 3);
+        let out = run_cover_trials_adaptive(&g, &SimpleWalk::new(), 0, &plan);
+        assert!(!out.precision_met);
+        assert_eq!(out.censored, 24);
+        assert_eq!(out.summary.count(), 0);
+        assert_eq!(out.completion_rate(), 0.0);
+        assert!(matches!(out.completed_summary(), Err(EmptySummary)));
+    }
+
+    #[test]
+    fn adaptive_outcome_converts_to_trial_outcome() {
+        let g = classic::complete(10).unwrap();
+        let plan = AdaptivePlan::new(StopRule::new(4, 50, 0.2), 8, 1000, 9);
+        let out = run_cover_trials_adaptive(&g, &CobraWalk::standard(), 0, &plan);
+        let as_fixed = out.to_trial_outcome();
+        assert_eq!(as_fixed.summary.count(), out.summary.count());
+        assert_eq!(as_fixed.censored, out.censored);
+        assert_eq!(as_fixed.completion_rate(), out.completion_rate());
+    }
 
     #[test]
     fn cover_trials_complete_on_small_graph() {
@@ -285,7 +551,7 @@ mod tests {
         let seq = SeedSequence::new(plan.master_seed);
         let mut completed = Vec::new();
         for i in 0..plan.trials {
-            let mut rng = StdRng::seed_from_u64(seq.seed_at(i as u64));
+            let mut rng = seq.rng_at(i as u64);
             let res = CoverDriver::new(&g)
                 .run(&SimpleWalk::new(), 0, plan.max_steps, &mut rng)
                 .unwrap();

@@ -1,5 +1,41 @@
 //! Summary statistics: Welford online moments, quantiles, and CIs.
 
+/// Two-sided normal critical value `z` for a confidence level.
+///
+/// The single z-lookup shared by [`Summary::mean_ci`] and the sequential
+/// stopping rule in [`crate::convergence`] — one table, so a CI printed
+/// in a report and a CI consulted by an adaptive stopping decision can
+/// never disagree about what "95%" means. Supported levels: 0.90, 0.95,
+/// 0.99 (the ones the experiments use); anything else panics loudly
+/// rather than silently interpolating.
+pub fn z_for_level(level: f64) -> f64 {
+    match level {
+        l if (l - 0.90).abs() < 1e-9 => 1.6449,
+        l if (l - 0.95).abs() < 1e-9 => 1.9600,
+        l if (l - 0.99).abs() < 1e-9 => 2.5758,
+        other => panic!("unsupported CI level {other}; use 0.90/0.95/0.99"),
+    }
+}
+
+/// Linear-interpolation sample quantile of an already **sorted** slice,
+/// `q ∈ [0, 1]` (the `R-7`/NumPy-default definition). Shared by
+/// [`Summary::quantile`] and the bootstrap percentile CIs in
+/// `cobra-analysis`, so every quantile in the workspace interpolates the
+/// same way — index-truncation variants bias the two tails differently.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q in [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 /// Error: a statistic was requested from a summary with zero observations
 /// (e.g. every trial of a batch was censored). Surfacing this as a value
 /// instead of a panic/NaN lets sweep code skip or report empty cells.
@@ -116,20 +152,29 @@ impl Summary {
     }
 
     /// Exact sample quantile with linear interpolation, `q ∈ [0, 1]`.
+    ///
+    /// Sorts a copy of the sample on every call; for several quantiles of
+    /// the same summary use [`Summary::quantiles`], which sorts once.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(self.count > 0, "quantile of empty summary");
-        assert!((0.0..=1.0).contains(&q), "q in [0,1]");
+        quantile_sorted(&self.sorted_values(), q)
+    }
+
+    /// Several quantiles from one sort of the sample — what sweep-row
+    /// construction (median + p95 per row) uses instead of paying the
+    /// `O(n log n)` sort per quantile.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        assert!(self.count > 0, "quantile of empty summary");
+        let sorted = self.sorted_values();
+        qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect()
+    }
+
+    /// The sample values in ascending order.
+    fn sorted_values(&self) -> Vec<f64> {
         let mut sorted = self.values.clone();
+        // Values are asserted finite on push, so total order exists.
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            sorted[lo]
-        } else {
-            let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-        }
+        sorted
     }
 
     /// Median (50th percentile).
@@ -138,16 +183,17 @@ impl Summary {
     }
 
     /// Normal-approximation confidence interval for the mean at the given
-    /// level (supported levels: 0.90, 0.95, 0.99).
+    /// level (supported levels: 0.90, 0.95, 0.99 — see [`z_for_level`]).
     pub fn mean_ci(&self, level: f64) -> (f64, f64) {
-        let z = match level {
-            l if (l - 0.90).abs() < 1e-9 => 1.6449,
-            l if (l - 0.95).abs() < 1e-9 => 1.9600,
-            l if (l - 0.99).abs() < 1e-9 => 2.5758,
-            other => panic!("unsupported CI level {other}; use 0.90/0.95/0.99"),
-        };
-        let half = z * self.stderr();
+        let half = self.ci_half_width(level);
         (self.mean() - half, self.mean() + half)
+    }
+
+    /// Half-width of the normal-approximation CI at `level` — the
+    /// quantity the sequential stopping rule compares against its
+    /// precision target, and what sweep manifests record per cell.
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        z_for_level(level) * self.stderr()
     }
 
     /// Merge another summary into this one (used to combine per-worker
@@ -220,6 +266,42 @@ mod tests {
         assert_eq!(s.quantile(1.0), 40.0);
         assert_eq!(s.median(), 25.0);
         assert!((s.quantile(0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_individual_calls() {
+        let s = Summary::from_slice(&[9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0]);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let batch = s.quantiles(&qs);
+        for (&q, &b) in qs.iter().zip(&batch) {
+            assert_eq!(b, s.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_sorted_is_tail_symmetric() {
+        // For a sample symmetric about c, the interpolated q and 1−q
+        // quantiles must mirror exactly about c — the invariant the
+        // bootstrap percentile CI relies on.
+        let sorted = [-5.0, -2.0, -1.0, 1.0, 2.0, 5.0];
+        for q in [0.025, 0.05, 0.1, 0.16, 0.3, 0.42] {
+            let lo = quantile_sorted(&sorted, q);
+            let hi = quantile_sorted(&sorted, 1.0 - q);
+            assert!((lo + hi).abs() < 1e-12, "q = {q}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn z_table_is_monotone_and_pinned() {
+        assert_eq!(z_for_level(0.90), 1.6449);
+        assert_eq!(z_for_level(0.95), 1.9600);
+        assert_eq!(z_for_level(0.99), 2.5758);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn z_table_rejects_odd_levels() {
+        z_for_level(0.42);
     }
 
     #[test]

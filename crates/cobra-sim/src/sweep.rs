@@ -5,7 +5,10 @@
 //! `(scale, statistics…)` pairs that render straight into CSV/Markdown
 //! (see [`crate::table`]) and feed the fitters in `cobra-analysis`.
 
-use crate::runner::{run_cover_trials_typed, TrialPlan};
+use crate::convergence::AdaptivePlan;
+use crate::runner::{
+    run_cover_trials_adaptive, run_cover_trials_typed, AdaptiveOutcome, TrialPlan,
+};
 use crate::stats::{EmptySummary, Summary};
 use cobra_core::TypedProcess;
 use cobra_graph::{Graph, Vertex};
@@ -48,15 +51,20 @@ impl SweepRow {
         summary: &Summary,
         censored: usize,
     ) -> Result<Self, EmptySummary> {
-        summary.try_mean().map(|mean| SweepRow {
-            scale,
-            context: Vec::new(),
-            mean,
-            stderr: summary.stderr(),
-            median: summary.median(),
-            p95: summary.quantile(0.95),
-            trials: summary.count(),
-            censored,
+        summary.try_mean().map(|mean| {
+            // One sort for both order statistics (`quantile` re-sorts the
+            // sample per call, and sweeps build thousands of rows).
+            let qs = summary.quantiles(&[0.5, 0.95]);
+            SweepRow {
+                scale,
+                context: Vec::new(),
+                mean,
+                stderr: summary.stderr(),
+                median: qs[0],
+                p95: qs[1],
+                trials: summary.count(),
+                censored,
+            }
         })
     }
 
@@ -181,6 +189,118 @@ pub fn run_cover_sweep_cells<P: TypedProcess + Sync>(
         )?);
     }
     Ok(table)
+}
+
+/// Adaptive-stopping record for one sweep cell, alongside its
+/// [`SweepRow`] — what per-run manifests persist so a sweep's cost and
+/// precision are auditable after the fact.
+#[derive(Clone, Debug)]
+pub struct AdaptiveCellReport {
+    /// The cell's scale (same value as the corresponding row).
+    pub scale: f64,
+    /// Trials consumed (completed + censored).
+    pub trials_used: usize,
+    /// Completed trials.
+    pub completed: usize,
+    /// Censored trials.
+    pub censored: usize,
+    /// Absolute CI half-width of the mean at the rule's confidence
+    /// level (0 when the cell completed no trials).
+    pub ci_half_width: f64,
+    /// `ci_half_width / mean` — the quantity the stop rule targets
+    /// (0 when the cell completed no trials).
+    pub rel_half_width: f64,
+    /// Whether the rule's precision target was met before the trial cap.
+    pub precision_met: bool,
+}
+
+impl AdaptiveCellReport {
+    /// Build the report from a cell's outcome under the plan's rule.
+    pub fn from_outcome(scale: f64, out: &AdaptiveOutcome, confidence: f64) -> Self {
+        let (half, rel) = match out.summary.try_mean() {
+            Ok(mean) if mean != 0.0 => {
+                let half = out.summary.ci_half_width(confidence);
+                (half, half / mean.abs())
+            }
+            Ok(_) => (0.0, 0.0),
+            Err(_) => (0.0, 0.0),
+        };
+        AdaptiveCellReport {
+            scale,
+            trials_used: out.trials_run(),
+            completed: out.summary.count(),
+            censored: out.censored,
+            ci_half_width: half,
+            rel_half_width: rel,
+            precision_met: out.precision_met,
+        }
+    }
+}
+
+/// Result of an adaptive sweep: the usual table plus per-cell stopping
+/// reports in the same order.
+#[derive(Clone, Debug)]
+pub struct AdaptiveSweep {
+    /// One row per cell, as in the fixed-trial sweep.
+    pub table: SweepTable,
+    /// One stopping report per cell, aligned with `table.rows`.
+    pub reports: Vec<AdaptiveCellReport>,
+}
+
+impl AdaptiveSweep {
+    /// Total trials consumed across all cells.
+    pub fn total_trials(&self) -> usize {
+        self.reports.iter().map(|r| r.trials_used).sum()
+    }
+
+    /// Whether every cell met the precision target.
+    pub fn all_precise(&self) -> bool {
+        self.reports.iter().all(|r| r.precision_met)
+    }
+}
+
+/// Adaptive-stopping variant of [`run_cover_sweep_cells`]: each cell
+/// runs [`run_cover_trials_adaptive`] under a per-cell child seed of
+/// `plan.master_seed` (same derivation as the fixed sweep) and the
+/// cell's own step budget when it carries one. Results are bit-identical
+/// across worker counts and batch sizes (the engine's invariant), and
+/// per-cell cost adapts to per-cell variance — easy cells stop at
+/// `rule.min_trials`, hard cells run until the CI is tight or the cap
+/// is hit.
+///
+/// Returns `Err(EmptySummary)` if any cell completes zero trials — a
+/// budget bug, as in the fixed sweep. A cell that merely fails to reach
+/// the precision target is *not* an error; it is reported via its
+/// [`AdaptiveCellReport::precision_met`] flag.
+pub fn run_cover_sweep_cells_adaptive<P: TypedProcess + Sync>(
+    label: impl Into<String>,
+    scale_name: impl Into<String>,
+    cells: impl IntoIterator<Item = SweepCell>,
+    process: &P,
+    plan: &AdaptivePlan,
+) -> Result<AdaptiveSweep, EmptySummary> {
+    let mut table = SweepTable::new(label, scale_name);
+    let mut reports = Vec::new();
+    let master = crate::seeds::SeedSequence::new(plan.master_seed);
+    for (cell_idx, cell) in cells.into_iter().enumerate() {
+        let cell_plan = AdaptivePlan {
+            master_seed: master.child(cell_idx as u64).seed_at(0),
+            max_steps: cell.max_steps.unwrap_or(plan.max_steps),
+            ..*plan
+        };
+        let out = run_cover_trials_adaptive(&cell.graph, process, cell.start, &cell_plan);
+        reports.push(AdaptiveCellReport::from_outcome(
+            cell.scale,
+            &out,
+            plan.rule.confidence,
+        ));
+        table.push(SweepRow::try_from_summary(
+            cell.scale,
+            &out.summary,
+            out.censored,
+        )?);
+    }
+    Ok(AdaptiveSweep { table, reports })
 }
 
 /// [`run_cover_sweep_cells`] for sweeps whose cells all share the plan's
