@@ -12,6 +12,7 @@
 
 use cobra_analysis::compare::ratio_flatness;
 use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::CobraWalk;
 use cobra_sim::sweep::{SweepRow, SweepTable};
@@ -79,7 +80,7 @@ fn main() {
                 &cobra,
                 0,
                 budget,
-                cfg.seed.wrapping_add((k * 100 + i) as u64),
+                stage_seed(cfg.seed, "e10", "cover", (k * 100 + i) as u64),
             );
             table.push(
                 SweepRow::from_summary(diam as f64, &out.summary, out.censored)

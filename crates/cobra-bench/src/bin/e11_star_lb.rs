@@ -14,6 +14,7 @@
 use cobra_analysis::compare::ratio_flatness;
 use cobra_analysis::growth::{classify_growth, GrowthShape};
 use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::{CobraWalk, PushGossip};
 use cobra_sim::runner::{run_cover_trials, TrialPlan};
@@ -46,7 +47,11 @@ fn main() {
             &g,
             &cobra,
             0,
-            &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(i as u64)),
+            &TrialPlan::new(
+                trials,
+                budget,
+                stage_seed(cfg.seed, "e11", "cobra", i as u64),
+            ),
         );
         t_cobra.push(
             SweepRow::from_summary(nf, &out_c.summary, out_c.censored)
@@ -56,7 +61,11 @@ fn main() {
             &g,
             &push,
             0,
-            &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(600 + i as u64)),
+            &TrialPlan::new(
+                trials,
+                budget,
+                stage_seed(cfg.seed, "e11", "push", i as u64),
+            ),
         );
         t_push.push(
             SweepRow::from_summary(nf, &out_p.summary, out_p.censored)

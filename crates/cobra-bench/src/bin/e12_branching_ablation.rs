@@ -12,6 +12,7 @@
 //! diminishing returns beyond.
 
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::CobraWalk;
 use cobra_sim::runner::{run_cover_trials, TrialPlan};
@@ -51,7 +52,11 @@ fn main() {
                 &g,
                 &process,
                 start,
-                &TrialPlan::new(trials, budget, cfg.seed.wrapping_add((c * 10 + i) as u64)),
+                &TrialPlan::new(
+                    trials,
+                    budget,
+                    stage_seed(cfg.seed, "e12", "cover", (c * 10 + i) as u64),
+                ),
             );
             assert_eq!(out.censored, 0, "{} k={k}: raise budget", fam.name());
             means.push(out.summary.mean());

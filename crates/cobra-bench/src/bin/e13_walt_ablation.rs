@@ -10,6 +10,7 @@
 //!   degrade gracefully toward multi-walk behavior.
 
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::WaltProcess;
 use cobra_sim::runner::{run_cover_trials, TrialPlan};
@@ -43,7 +44,7 @@ fn main() {
                 &g,
                 proc_,
                 0,
-                &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(tag)),
+                &TrialPlan::new(trials, budget, stage_seed(cfg.seed, "e13", "ablation", tag)),
             );
             assert_eq!(out.censored, 0, "raise budget");
             out.summary.mean()

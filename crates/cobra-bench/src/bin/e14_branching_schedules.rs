@@ -10,6 +10,7 @@
 //! (degree-scaled) schedule that concentrates branching at hubs.
 
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::{BranchingSchedule, Process, ScheduledCobraWalk};
 use cobra_sim::runner::{run_cover_trials, TrialPlan};
@@ -61,7 +62,11 @@ fn main() {
                 &g,
                 &process,
                 start,
-                &TrialPlan::new(trials, budget, cfg.seed.wrapping_add((c * 10 + i) as u64)),
+                &TrialPlan::new(
+                    trials,
+                    budget,
+                    stage_seed(cfg.seed, "e14", "cover", (c * 10 + i) as u64),
+                ),
             );
             assert_eq!(
                 out.censored,

@@ -15,9 +15,9 @@
 
 use cobra_analysis::fit::linear_fit;
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::{stage_seed, stage_sequence};
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::{record_trajectory, CobraWalk};
-use cobra_sim::seeds::SeedSequence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,7 +29,6 @@ fn main() {
         &cfg,
     );
 
-    let seq = SeedSequence::new(cfg.seed);
     let cobra = CobraWalk::standard();
     let trials = cfg.scale(20, 60);
 
@@ -46,8 +45,8 @@ fn main() {
     let mut rates_all = Vec::new();
     for (i, &n) in ns.iter().enumerate() {
         let fam = Family::RandomRegular { d: 4 };
-        let g = fam.build(n, seq.child(i as u64).seed_at(0));
-        let child = seq.child(1000 + i as u64);
+        let g = fam.build(n, stage_seed(cfg.seed, "e15", "graphs", i as u64));
+        let child = stage_sequence(cfg.seed, "e15", "growth", i as u64);
         let mut phase_sum = 0usize;
         let mut rate_sum = 0.0;
         let mut rate_count = 0usize;
@@ -109,7 +108,7 @@ fn main() {
     let cycle_ns = cfg.scale(vec![256usize, 512, 1024], vec![512, 1024, 2048, 4096]);
     for (i, &n_cycle) in cycle_ns.iter().enumerate() {
         let g = Family::Cycle.build(n_cycle, 0);
-        let child = seq.child(77 + i as u64);
+        let child = stage_sequence(cfg.seed, "e15", "cycle-refresh", i as u64);
         let mut total = 0usize;
         let ctrials = cfg.scale(10usize, 30);
         for t in 0..ctrials {

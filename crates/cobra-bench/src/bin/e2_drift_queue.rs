@@ -14,9 +14,9 @@
 //!    below `c·ln n` for the next `Θ(n²)` steps w.h.p.
 
 use cobra_bench::report::{banner, emit_table, fit_and_report, verdict};
+use cobra_bench::stages::{stage_seed, stage_sequence};
 use cobra_bench::ExpConfig;
 use cobra_core::queueing::{one_step_stats, DriftChain};
-use cobra_sim::seeds::SeedSequence;
 use cobra_sim::stats::Summary;
 use cobra_sim::sweep::{SweepRow, SweepTable};
 use rand::rngs::StdRng;
@@ -30,8 +30,6 @@ fn main() {
         &cfg,
     );
 
-    let seq = SeedSequence::new(cfg.seed);
-
     // ---- Lemma 4: one-step statistics in the worst-case state ----------
     println!("Lemma 4 one-step drift (worst case: single nonzero dimension):\n");
     println!("| d | P[change] measured | (2d-1)/d² | P[dec|change] measured | 1/2+1/(8d-4) |");
@@ -42,7 +40,7 @@ fn main() {
         let mut z = vec![0u32; d];
         z[0] = 50;
         let state = DriftChain::new(z, 1000);
-        let mut rng = StdRng::seed_from_u64(seq.child(d as u64).seed_at(0));
+        let mut rng = StdRng::seed_from_u64(stage_seed(cfg.seed, "e2", "step-stats", d as u64));
         let (p_change, p_dec) = one_step_stats(&state, 0, trials4, &mut rng);
         let d_f = d as f64;
         let exp_change = (2.0 * d_f - 1.0) / (d_f * d_f);
@@ -65,7 +63,7 @@ fn main() {
     for d in [2usize, 3, 4] {
         let mut table = SweepTable::new(format!("drift-chain emptying time, d={d}"), "n");
         for (i, &n) in ns.iter().enumerate() {
-            let child = seq.child((d * 1000 + i) as u64);
+            let child = stage_sequence(cfg.seed, "e2", "emptying", (d * 1000 + i) as u64);
             let mut summary = Summary::new();
             let mut censored = 0usize;
             let budget = 64 * d * d * n + 100_000;
@@ -104,7 +102,7 @@ fn main() {
     let horizon = cfg.scale(4 * n * n, 10 * n * n);
     let excursion_trials = cfg.scale(20, 60);
     let cap = 12.0 * (n as f64).ln(); // generous c_d
-    let child = seq.child(777);
+    let child = stage_sequence(cfg.seed, "e2", "excursion", 0);
     let mut violations = 0usize;
     let mut max_seen = 0.0f64;
     for t in 0..excursion_trials {

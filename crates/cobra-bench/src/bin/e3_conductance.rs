@@ -15,6 +15,7 @@
 
 use cobra_analysis::compare::{is_bounded_by, ratio_flatness};
 use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::CobraWalk;
 use cobra_graph::Graph;
@@ -92,7 +93,7 @@ fn main() {
                 &cobra,
                 fam.adversarial_start(&g),
                 budget,
-                cfg.seed.wrapping_add(i as u64 * 31),
+                stage_seed(cfg.seed, "e3", "cover-cells", i as u64),
             );
             let row = SweepRow::from_summary(scale as f64, &out.summary, out.censored)
                 .with_context("n", n as f64)

@@ -11,6 +11,7 @@
 use cobra_analysis::compare::{is_bounded_by, ratio_flatness};
 use cobra_analysis::growth::{classify_growth, GrowthShape};
 use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::{CobraWalk, SimpleWalk};
 use cobra_sim::sweep::SweepCell;
@@ -54,7 +55,7 @@ fn main() {
                 "n",
                 cells,
                 &cobra,
-                cfg.seed.wrapping_add((d * 100) as u64),
+                stage_seed(cfg.seed, "e4", "rr-sweep", d as u64),
             )
             .expect("an expander sweep cell completed zero trials — raise the budget");
         for row in &mut table.rows {
@@ -105,7 +106,7 @@ fn main() {
             "n",
             rw_cells,
             &SimpleWalk::new(),
-            cfg.seed.wrapping_add(9000),
+            stage_seed(cfg.seed, "e4", "rw-contrast", 0),
         )
         .expect("a contrast sweep cell completed zero trials — raise the budget");
     emit_table(&cfg, &rw_table, "e4_rw_d3");

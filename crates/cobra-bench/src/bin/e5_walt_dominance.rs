@@ -9,6 +9,7 @@
 //! slower at every quantile), plus the implied mean/median orderings.
 
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::{CobraWalk, WaltProcess};
 use cobra_sim::runner::{run_cover_trials, TrialPlan};
@@ -52,12 +53,16 @@ fn main() {
 
     let mut all_pass = true;
     for (k, (fam, scale)) in cases.iter().enumerate() {
-        let g = fam.build(*scale, cfg.seed ^ ((k as u64) << 16));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e5", "graphs", k as u64));
         let n = g.num_vertices();
         let start = fam.adversarial_start(&g);
         let budget = 4000 * n + 100_000;
-        let plan_c = TrialPlan::new(trials, budget, cfg.seed.wrapping_add(2 * k as u64));
-        let plan_w = TrialPlan::new(trials, budget, cfg.seed.wrapping_add(2 * k as u64 + 1));
+        let plan_c = TrialPlan::new(
+            trials,
+            budget,
+            stage_seed(cfg.seed, "e5", "cobra", k as u64),
+        );
+        let plan_w = TrialPlan::new(trials, budget, stage_seed(cfg.seed, "e5", "walt", k as u64));
         let out_c = run_cover_trials(&g, &cobra, start, &plan_c);
         let out_w = run_cover_trials(&g, &walt, start, &plan_w);
         assert_eq!(out_c.censored, 0, "cobra runs censored; raise budget");

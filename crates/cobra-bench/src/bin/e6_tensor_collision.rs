@@ -15,9 +15,9 @@
 //!    holds trivially there.
 
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::{stage_seed, stage_sequence};
 use cobra_bench::{ExpConfig, Family};
 use cobra_graph::generators::hypercube::hypercube;
-use cobra_sim::seeds::SeedSequence;
 use cobra_spectral::tensor::TensorChain;
 use cobra_spectral::walk_matrix::{evolve, tv_distance};
 use rand::rngs::StdRng;
@@ -31,7 +31,6 @@ fn main() {
         &cfg,
     );
 
-    let seq = SeedSequence::new(cfg.seed);
     let cases: Vec<(Family, usize)> = vec![
         (Family::Complete, cfg.scale(8, 16)),
         (Family::Cycle, cfg.scale(9, 15)), // odd: non-bipartite
@@ -43,7 +42,7 @@ fn main() {
 
     let mut all_pass = true;
     for (k, (fam, scale)) in cases.iter().enumerate() {
-        let g = fam.build(*scale, seq.child(k as u64).seed_at(0));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e6", "graphs", k as u64));
         let n = g.num_vertices();
         let tc = TensorChain::new(&g, true);
         let pi = tc.theoretical_stationary();
@@ -95,7 +94,7 @@ fn main() {
     let tc = TensorChain::new(&g, true);
     let steps = cfg.scale(40usize, 80);
     let trials = cfg.scale(200_000usize, 800_000);
-    let child = seq.child(99);
+    let child = stage_sequence(cfg.seed, "e6", "collision-freq", 0);
     let mut counts = vec![0u64; n * n];
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(child.seed_at(t as u64));

@@ -16,13 +16,13 @@
 
 use cobra_analysis::fit::power_law_fit;
 use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::stages::{stage_seed, stage_sequence};
 use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::biased::{return_time_bound, MetropolisWalk};
 use cobra_core::process::Process;
 use cobra_core::{BiasedWalk, CobraWalk, SimpleWalk};
 use cobra_graph::metrics::farthest_vertex;
 use cobra_sim::runner::{run_hitting_trials, TrialPlan};
-use cobra_sim::seeds::SeedSequence;
 use cobra_sim::sweep::{SweepRow, SweepTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +42,6 @@ fn main() {
     );
     let mut orch = Orchestrator::new(spec);
 
-    let seq = SeedSequence::new(cfg.seed);
     // The dyn-route biased-walk reference keeps a fixed plan (its
     // controller state is not `TypedProcess`); size it to the adaptive
     // envelope's cap so its stderr stays comparable.
@@ -60,7 +59,7 @@ fn main() {
     ];
     let mut dominance_ok = true;
     for (k, (fam, scale)) in dom_cases.iter().enumerate() {
-        let g = fam.build(*scale, seq.child(k as u64).seed_at(0));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e7", "graphs", k as u64));
         let n = g.num_vertices();
         let delta = g.regularity().expect("regular family");
         let start = 0u32;
@@ -77,7 +76,7 @@ fn main() {
             start,
             target,
             budget,
-            cfg.seed.wrapping_add(k as u64),
+            stage_seed(cfg.seed, "e7", "cobra-hitting", k as u64),
         );
         let biased = BiasedWalk::inverse_degree_toward(&g, target);
         let out_b = run_hitting_trials(
@@ -85,7 +84,11 @@ fn main() {
             &biased,
             start,
             target,
-            &TrialPlan::new(trials, budget, cfg.seed.wrapping_add(1000 + k as u64)),
+            &TrialPlan::new(
+                trials,
+                budget,
+                stage_seed(cfg.seed, "e7", "biased-hitting", k as u64),
+            ),
         );
         assert_eq!(out_c.censored + out_b.censored, 0, "raise hitting budget");
         // Allow 2 stderr of slack in the comparison.
@@ -124,7 +127,7 @@ fn main() {
             0,
             target,
             budget,
-            cfg.seed.wrapping_add(7000 + i as u64),
+            stage_seed(cfg.seed, "e7", "cycle-cobra", i as u64),
         );
         t_cobra.push(SweepRow::from_summary(
             n as f64,
@@ -139,7 +142,7 @@ fn main() {
             0,
             target,
             budget,
-            cfg.seed.wrapping_add(8000 + i as u64),
+            stage_seed(cfg.seed, "e7", "cycle-rw", i as u64),
         );
         t_rw.push(SweepRow::from_summary(
             n as f64,
@@ -189,7 +192,7 @@ fn main() {
         let bound = return_time_bound(&g, target);
         // Measure mean return time: start at target, step once, count
         // rounds until back.
-        let child = seq.child(4242 + k as u64);
+        let child = stage_sequence(cfg.seed, "e7", "return-time", k as u64);
         let mut total = 0u64;
         for t in 0..ret_trials {
             let mut rng = StdRng::seed_from_u64(child.seed_at(t as u64));

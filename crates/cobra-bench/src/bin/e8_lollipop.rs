@@ -15,6 +15,7 @@
 use cobra_analysis::bootstrap::bootstrap_exponent_ci;
 use cobra_analysis::fit::power_law_fit;
 use cobra_bench::report::{banner, emit_table, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::{CobraWalk, SimpleWalk};
 use cobra_sim::sweep::{SweepRow, SweepTable};
@@ -73,7 +74,7 @@ fn main() {
             &cobra,
             start,
             cobra_budget,
-            cfg.seed.wrapping_add(i as u64),
+            stage_seed(cfg.seed, "e8", "cobra", i as u64),
         );
         t_cobra.push(SweepRow::from_summary(nf, &out_c.summary, out_c.censored));
 
@@ -84,7 +85,7 @@ fn main() {
             &rw,
             start,
             rw_budget,
-            cfg.seed.wrapping_add(500 + i as u64),
+            stage_seed(cfg.seed, "e8", "rw", i as u64),
         );
         t_rw.push(SweepRow::from_summary(nf, &out_r.summary, out_r.censored));
     }

@@ -9,11 +9,11 @@
 //! linear-solve values from `cobra-spectral`.
 
 use cobra_bench::report::{banner, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, Family};
 use cobra_core::measure::{estimate_hmax, matthews_ratio};
 use cobra_core::{CobraWalk, SimpleWalk};
 use cobra_sim::runner::{run_cover_trials, TrialPlan};
-use cobra_sim::seeds::SeedSequence;
 use cobra_spectral::exact::exact_hmax;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,11 +26,9 @@ fn main() {
         &cfg,
     );
 
-    let seq = SeedSequence::new(cfg.seed);
-
     // ---- Estimator sanity: simple-walk h_max vs exact ------------------
     let tiny = Family::Cycle.build(12, 0);
-    let mut rng = StdRng::seed_from_u64(seq.child(1).seed_at(0));
+    let mut rng = StdRng::seed_from_u64(stage_seed(cfg.seed, "e9", "estimator-sanity", 0));
     let est = estimate_hmax(
         &tiny,
         &SimpleWalk::new(),
@@ -68,16 +66,20 @@ fn main() {
     println!("|--------|---|-----------|------------|----------------|");
     let mut worst_ratio = 0.0f64;
     for (k, (fam, scale)) in cases.iter().enumerate() {
-        let g = fam.build(*scale, seq.child(100 + k as u64).seed_at(0));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e9", "graphs", k as u64));
         let n = g.num_vertices();
         let budget = 2000 * n + 500_000;
-        let mut rng = StdRng::seed_from_u64(seq.child(200 + k as u64).seed_at(0));
+        let mut rng = StdRng::seed_from_u64(stage_seed(cfg.seed, "e9", "hmax", k as u64));
         let hmax = estimate_hmax(&g, &cobra, pairs, htrials, budget, &mut rng);
         let out = run_cover_trials(
             &g,
             &cobra,
             fam.adversarial_start(&g),
-            &TrialPlan::new(ctrials, budget, cfg.seed.wrapping_add(k as u64)),
+            &TrialPlan::new(
+                ctrials,
+                budget,
+                stage_seed(cfg.seed, "e9", "cover", k as u64),
+            ),
         );
         assert_eq!(out.censored, 0, "{}: raise budget", fam.name());
         let ratio = matthews_ratio(out.summary.mean(), hmax, n);

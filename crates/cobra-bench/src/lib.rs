@@ -30,7 +30,9 @@ pub mod cli;
 pub mod families;
 pub mod orchestrator;
 pub mod report;
+pub mod stages;
 
 pub use cli::ExpConfig;
 pub use families::Family;
 pub use orchestrator::{ExperimentSpec, Orchestrator};
+pub use stages::{stage_seed, stage_sequence, StageBlock};

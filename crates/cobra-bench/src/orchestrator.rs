@@ -18,7 +18,7 @@ use cobra_graph::{Graph, Vertex};
 use cobra_sim::runner::AdaptiveOutcome;
 use cobra_sim::sweep::AdaptiveCellReport;
 use cobra_sim::{
-    run_cover_sweep_cells_adaptive, run_cover_trials_adaptive, run_hitting_trials_adaptive,
+    run_cover_sweep_cells_adaptive, run_cover_trials_adaptive_auto, run_hitting_trials_adaptive,
     AdaptivePlan, EmptySummary, StopRule, SweepCell, SweepTable,
 };
 use std::path::PathBuf;
@@ -146,7 +146,9 @@ impl Orchestrator {
         Ok(sweep.table)
     }
 
-    /// Measure one cover cell adaptively and record it.
+    /// Measure one cover cell adaptively and record it. Routes through
+    /// the engine-selection heuristic: small lane-friendly cells use the
+    /// bit-sliced 64-lane engine, everything else the scratch engine.
     #[allow(clippy::too_many_arguments)] // mirrors run_cover_trials' shape
     pub fn cover_cell(
         &mut self,
@@ -159,7 +161,7 @@ impl Orchestrator {
         master_seed: u64,
     ) -> AdaptiveOutcome {
         let plan = self.spec.plan(max_steps, master_seed);
-        let out = run_cover_trials_adaptive(g, process, start, &plan);
+        let out = run_cover_trials_adaptive_auto(g, process, start, &plan);
         self.record(sweep, scale, &out);
         out
     }

@@ -70,6 +70,11 @@ impl TypedProcess for CobraWalk {
         }
     }
 
+    fn lane_branching(&self) -> Option<u32> {
+        // One cobra round IS k iid uniform out-draws per frontier vertex.
+        Some(self.branching_factor)
+    }
+
     fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut CobraState) {
         let n = g.num_vertices();
         if state.cur.capacity() != n {

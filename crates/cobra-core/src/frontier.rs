@@ -637,6 +637,62 @@ mod tests {
     }
 
     #[test]
+    fn coverage_epoch_wrap_rezeros_every_stale_word() {
+        // The wrap hazard is *aliasing*: after wrapping, the epoch counter
+        // lands back on 1, so any word whose stamp still says 1 from the
+        // mask's first life would read its ancient bits as live coverage —
+        // unless the wrap genuinely re-zeroes words and stamps. Build
+        // exactly that trap: dirty words at epoch 1, advance the epoch
+        // without touching them (their stamps stay 1), then wrap.
+        let mut c = CoverageMask::new(256);
+        c.mark(0); // word 0 stamped at epoch 1
+        c.mark(64); // word 1 stamped at epoch 1
+        c.mark(128); // word 2 stamped at epoch 1
+        c.reset(); // epoch 2
+        c.mark(5); // word 0 re-stamped at epoch 2; words 1-2 keep stamp 1
+        c.epoch = u32::MAX; // pin to the wrap boundary
+        c.mark(200); // word 3 stamped at u32::MAX
+        assert!(c.contains(200));
+        assert_eq!(c.count(), 2);
+
+        c.reset(); // wraps: the one genuine full re-zero
+        assert_eq!(c.epoch, 1, "wrap must land back on epoch 1");
+        assert_eq!(c.count(), 0);
+        assert!(
+            c.words.iter().all(|&w| w == 0),
+            "wrap must physically zero every word"
+        );
+        assert!(
+            c.word_epoch.iter().all(|&e| e == 0),
+            "wrap must reset every stamp below the new epoch"
+        );
+        // The aliasing trap: words 1-2 were stamped 1 before the wrap and
+        // the epoch is 1 again — they must read as uncovered regardless.
+        for v in [0u32, 5, 64, 128, 200, 255] {
+            assert!(!c.contains(v), "vertex {v} leaked through the wrap");
+        }
+
+        // Lazy refresh after the wrap yields correctly zeroed words for
+        // both write paths.
+        assert!(c.mark(64));
+        assert_eq!(c.mark_slice(&[64, 65, 200]), 2);
+        assert_eq!(c.count(), 3);
+        let mut f = Frontier::new(256);
+        for v in 0..256u32 {
+            f.insert(v);
+        }
+        assert!(f.is_dense());
+        assert_eq!(c.union_frontier(&f), 253);
+        assert!(c.is_complete());
+
+        // And the next (non-wrapping) reset behaves normally again.
+        c.reset();
+        assert_eq!(c.epoch, 2);
+        assert_eq!(c.count(), 0);
+        assert!(!c.contains(64));
+    }
+
+    #[test]
     fn coverage_union_matches_mark_slice() {
         let mut f = Frontier::new(300);
         for v in (0..300u32).step_by(3) {

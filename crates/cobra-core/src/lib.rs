@@ -56,6 +56,7 @@ pub mod coalescing;
 pub mod cobra;
 pub mod frontier;
 pub mod gossip;
+pub mod lanes;
 pub mod measure;
 pub mod parallel_walks;
 pub mod process;
@@ -75,6 +76,7 @@ pub use coalescing::CoalescingWalks;
 pub use cobra::CobraWalk;
 pub use frontier::{CoverageMask, Frontier};
 pub use gossip::{PullGossip, PushGossip, PushPullGossip};
+pub use lanes::{run_lane_cover, LaneOutcome, LaneScratch, LANE_WIDTH};
 pub use measure::{CoverDriver, CoverResult, HittingDriver, HittingResult};
 pub use parallel_walks::ParallelWalks;
 pub use process::{

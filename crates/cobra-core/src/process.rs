@@ -85,6 +85,17 @@ pub trait TypedProcess: Process {
     fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut Self::State) {
         *state = self.spawn_typed(g, start);
     }
+
+    /// `Some(k)` when one round of this process from frontier `S` is
+    /// exactly the union of `k` iid uniform out-draws per vertex of `S` —
+    /// the shape the bit-sliced lane kernel ([`crate::lanes`]) implements.
+    /// Cobra walks report their branching factor; the non-lazy simple
+    /// walk is the `k = 1` case. Everything else (laziness coins,
+    /// per-contact transmission coins, pebble counts) returns `None` and
+    /// stays on the per-trial engines.
+    fn lane_branching(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// Blanket impl so `&T` specifications keep the typed route too.
@@ -97,6 +108,10 @@ impl<T: TypedProcess> TypedProcess for &T {
 
     fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut Self::State) {
         (**self).respawn_typed(g, start, state)
+    }
+
+    fn lane_branching(&self) -> Option<u32> {
+        (**self).lane_branching()
     }
 }
 

@@ -68,6 +68,12 @@ impl TypedProcess for SimpleWalk {
             pos: [start],
         }
     }
+
+    fn lane_branching(&self) -> Option<u32> {
+        // The non-lazy walk is the 1-cobra walk; a lazy walk's hold coin
+        // has no lane-parallel form, so it stays on the per-trial engines.
+        (self.laziness == 0.0).then_some(1)
+    }
 }
 
 /// Mutable state of a running simple walk: one pebble position.

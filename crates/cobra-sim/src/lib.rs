@@ -5,7 +5,10 @@
 //! * [`seeds`] — deterministic per-trial seed derivation (SplitMix64), so
 //!   every experiment is exactly reproducible from one master seed and
 //!   trials are independent across rayon workers;
-//! * [`runner`] — parallel trial execution for cover/hitting measurements;
+//! * [`runner`] — parallel trial execution for cover/hitting
+//!   measurements, including the bit-sliced 64-lane cover engine
+//!   ([`runner::run_cover_trials_lanes`]) that small-graph cells route
+//!   through automatically;
 //! * [`stats`] — online summary statistics (Welford) with quantiles and
 //!   normal-approximation confidence intervals;
 //! * [`sweep`] — parameter sweeps producing result rows;
@@ -28,12 +31,14 @@ pub mod table;
 
 pub use convergence::{run_until_precise, AdaptivePlan, StopRule};
 pub use runner::{
-    run_cover_trials, run_cover_trials_adaptive, run_cover_trials_typed, run_hitting_trials,
+    lane_cover_applies, run_cover_trials, run_cover_trials_adaptive,
+    run_cover_trials_adaptive_auto, run_cover_trials_adaptive_lanes, run_cover_trials_auto,
+    run_cover_trials_lanes, run_cover_trials_typed, run_hitting_trials,
     run_hitting_trials_adaptive, run_hitting_trials_typed, AdaptiveOutcome, TrialOutcome,
-    TrialPlan,
+    TrialPlan, LANE_MAX_N,
 };
 pub use seeds::SeedSequence;
-pub use stats::{quantile_sorted, z_for_level, EmptySummary, Summary};
+pub use stats::{ks_distance, quantile_sorted, z_for_level, EmptySummary, Summary};
 pub use sweep::{
     run_cover_sweep, run_cover_sweep_cells, run_cover_sweep_cells_adaptive, AdaptiveCellReport,
     AdaptiveSweep, SweepCell, SweepRow, SweepTable,

@@ -7,7 +7,10 @@
 use crate::convergence::AdaptivePlan;
 use crate::seeds::SeedSequence;
 use crate::stats::{EmptySummary, Summary};
-use cobra_core::{CoverDriver, HittingDriver, Process, TrialScratch, TypedProcess};
+use cobra_core::{
+    run_lane_cover, CoverDriver, HittingDriver, LaneScratch, Process, TrialScratch, TypedProcess,
+    LANE_WIDTH,
+};
 use cobra_graph::{Graph, NeighborSampler, Vertex};
 use rayon::prelude::*;
 
@@ -197,6 +200,140 @@ pub fn run_hitting_trials_typed<P: TypedProcess + Sync>(
     aggregate(times)
 }
 
+/// Largest vertex count for which the bit-sliced lane engine is the
+/// default. Below this the per-round lane overhead (three `n`-word
+/// bitset scans) is dwarfed by the 64-way draw sharing; above it the
+/// scans dominate and the per-trial scratch engine's sparse frontier
+/// wins. The crossover on this hardware sits well past 1024 for cover
+/// cells, but 1024 keeps a comfortable margin.
+pub const LANE_MAX_N: usize = 1024;
+
+/// Whether the bit-sliced lane engine applies to a cover cell: the graph
+/// must be small (`n ≤` [`LANE_MAX_N`]), the workload wide enough to
+/// fill lanes (`trials ≥` [`LANE_WIDTH`]), and the process must have a
+/// lane-parallel form ([`TypedProcess::lane_branching`] — `k`-cobra
+/// walks and the non-lazy simple walk do; processes with per-pebble
+/// auxiliary state do not).
+///
+/// For adaptive runs pass the rule's `max_trials`: eligibility must not
+/// depend on how many trials end up consumed, or the engine choice
+/// (and with it the RNG stream) would depend on the data.
+pub fn lane_cover_applies<P: TypedProcess>(g: &Graph, process: &P, trials: usize) -> bool {
+    g.num_vertices() <= LANE_MAX_N && trials >= LANE_WIDTH && process.lane_branching().is_some()
+}
+
+/// Flattened cover times of lane batches `batch_range`, in global trial
+/// order (batch-major, lane-minor: trial `i` is lane `i % 64` of batch
+/// `i / 64`).
+///
+/// Every batch always computes all [`LANE_WIDTH`] lanes against the full
+/// mask — a narrower mask would change the shared-draw stream, and the
+/// full-width-then-truncate discipline is what gives lane runs their
+/// prefix property (a `trials = n` run is a bitwise prefix of a
+/// `trials = m ≥ n` run, and an adaptive run is a prefix of the fixed
+/// run). Batch `b` seeds from `SeedSequence::rng_at(b)`, and the
+/// parallel collect preserves batch order, so the result is identical at
+/// any worker count and for any partition of `batch_range` into
+/// consecutive sub-ranges.
+fn lane_cover_times<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    max_steps: usize,
+    master_seed: u64,
+    batch_range: std::ops::Range<usize>,
+) -> Vec<Option<usize>> {
+    let k = process
+        .lane_branching()
+        .expect("process has no lane-parallel form");
+    let seq = SeedSequence::new(master_seed);
+    let sampler = NeighborSampler::new(g);
+    let outs: Vec<_> = batch_range
+        .into_par_iter()
+        .map_init(
+            || LaneScratch::new(g),
+            |scratch, b| {
+                let mut rng = seq.rng_at(b as u64);
+                run_lane_cover(
+                    g,
+                    &sampler,
+                    k,
+                    start,
+                    u64::MAX,
+                    max_steps,
+                    scratch,
+                    &mut rng,
+                )
+            },
+        )
+        .collect();
+    let mut times = Vec::with_capacity(outs.len() * LANE_WIDTH);
+    for out in &outs {
+        for lane in 0..LANE_WIDTH {
+            times.push(out.cover_time(lane));
+        }
+    }
+    times
+}
+
+/// Measure cover times through the bit-sliced 64-lane engine: whole
+/// batches of [`LANE_WIDTH`] trials advance together, sharing neighbor
+/// draws across lanes (see [`cobra_core::lanes`]), which is what makes
+/// small-`n` cover cells cheap — per-trial dispatch no longer dominates.
+///
+/// Seeding is per *batch* (`SeedSequence::rng_at(batch_index)`), so the
+/// result is bit-identical at any worker count, and a run with fewer
+/// trials is a bitwise prefix of a longer run with the same master seed.
+/// Because lanes share draws, individual trials do **not** reproduce the
+/// serial engines' trials; cover-time *distributions* agree (each lane's
+/// marginal law is exactly the process — see the module docs), and the
+/// `tests/lanes.rs` KS harness pins that. Callers who need trial-level
+/// reproducibility against the serial stream use
+/// [`run_cover_trials_typed`]; [`run_cover_trials_auto`] picks per cell.
+///
+/// The caller is responsible for eligibility
+/// ([`lane_cover_applies`]) — this runner itself accepts any typed
+/// process with a lane form and panics otherwise.
+pub fn run_cover_trials_lanes<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome {
+    let batches = plan.trials.div_ceil(LANE_WIDTH);
+    let mut times = lane_cover_times(
+        g,
+        process,
+        start,
+        plan.max_steps,
+        plan.master_seed,
+        0..batches,
+    );
+    // The tail batch computes all 64 lanes regardless (the stream is a
+    // unit); surplus lanes are discarded here, preserving the prefix
+    // property.
+    times.truncate(plan.trials);
+    aggregate(times)
+}
+
+/// Cover trials through the best engine for the cell: the 64-lane
+/// engine when [`lane_cover_applies`], else the per-trial scratch
+/// engine ([`run_cover_trials_typed`]). The choice depends only on the
+/// plan and the cell shape — never on trial outcomes — so a given cell
+/// always uses the same engine and stays reproducible.
+pub fn run_cover_trials_auto<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome {
+    if lane_cover_applies(g, process, plan.trials) {
+        run_cover_trials_lanes(g, process, start, plan)
+    } else {
+        run_cover_trials_typed(g, process, start, plan)
+    }
+}
+
 /// Outcome of an adaptive (sequentially stopped) batch of trials.
 #[derive(Clone, Debug)]
 pub struct AdaptiveOutcome {
@@ -340,6 +477,86 @@ pub fn run_cover_trials_adaptive<P: TypedProcess + Sync>(
             res.completed.then_some(res.steps)
         },
     )
+}
+
+/// Adaptive variant of [`run_cover_trials_lanes`]: sequential stopping
+/// with the exact horizon discipline of [`run_cover_trials_adaptive`]
+/// (speculate to `min_trials`, then extend by `plan.batch`, cap at
+/// `max_trials`; replay serially against the rule), but trials come from
+/// the lane engine's flattened global stream. Lane batches are computed
+/// whole — the shared-draw stream of a 64-lane batch is a unit — and the
+/// flattened outcome vector is extended exactly to cover each horizon,
+/// so the stopping index is independent of `plan.batch` and worker
+/// count, and a run consuming `n` trials reproduces
+/// [`run_cover_trials_lanes`]' first `n` trials bit-for-bit.
+pub fn run_cover_trials_adaptive_lanes<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &AdaptivePlan,
+) -> AdaptiveOutcome {
+    let rule = plan.rule;
+    let mut times: Vec<Option<usize>> = Vec::new();
+    let mut summary = Summary::new();
+    let mut censored = 0usize;
+    let mut consumed = 0usize;
+    let mut met = false;
+    while consumed < rule.max_trials && !met {
+        let horizon = if consumed < rule.min_trials {
+            rule.min_trials
+        } else {
+            consumed + plan.batch
+        };
+        let hi = horizon.min(rule.max_trials);
+        let have = times.len() / LANE_WIDTH;
+        let need = hi.div_ceil(LANE_WIDTH);
+        if need > have {
+            times.extend(lane_cover_times(
+                g,
+                process,
+                start,
+                plan.max_steps,
+                plan.master_seed,
+                have..need,
+            ));
+        }
+        for &t in &times[consumed..hi] {
+            consumed += 1;
+            match t {
+                Some(steps) => {
+                    summary.push(steps as f64);
+                    if rule.satisfied(&summary) {
+                        met = true;
+                        break;
+                    }
+                }
+                None => censored += 1,
+            }
+        }
+    }
+    AdaptiveOutcome {
+        summary,
+        censored,
+        precision_met: met,
+    }
+}
+
+/// Adaptive cover trials through the best engine for the cell: the
+/// 64-lane engine when [`lane_cover_applies`] at the rule's
+/// `max_trials`, else the scratch engine. Eligibility uses the cap —
+/// not the consumed count — so the engine choice (and the RNG stream)
+/// never depends on the data.
+pub fn run_cover_trials_adaptive_auto<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &AdaptivePlan,
+) -> AdaptiveOutcome {
+    if lane_cover_applies(g, process, plan.rule.max_trials) {
+        run_cover_trials_adaptive_lanes(g, process, start, plan)
+    } else {
+        run_cover_trials_adaptive(g, process, start, plan)
+    }
 }
 
 /// Adaptive variant of [`run_hitting_trials_typed`]; same engine and
@@ -606,5 +823,141 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn plan_rejects_zero_trials() {
         TrialPlan::new(0, 10, 0);
+    }
+
+    #[test]
+    fn lane_eligibility_gate() {
+        let small = classic::cycle(16).unwrap();
+        let cobra = CobraWalk::standard();
+        assert!(lane_cover_applies(&small, &cobra, 64));
+        assert!(lane_cover_applies(&small, &cobra, 1000));
+        // Too few trials to fill a lane batch.
+        assert!(!lane_cover_applies(&small, &cobra, 63));
+        // Too large a graph.
+        let big = classic::cycle(LANE_MAX_N + 1).unwrap();
+        assert!(!lane_cover_applies(&big, &cobra, 1000));
+        // Non-lazy simple walk has a lane form; a lazy one does not.
+        assert!(lane_cover_applies(&small, &SimpleWalk::new(), 64));
+        assert!(!lane_cover_applies(&small, &SimpleWalk::lazy(0.3), 64));
+    }
+
+    #[test]
+    fn lane_stream_is_prefix_stable_and_resumable() {
+        // The flattened lane stream must not depend on how many batches
+        // a call computes (prefix property) or on where a range starts
+        // (resume identity) — both are what the adaptive runner leans on.
+        let g = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let two = lane_cover_times(&g, &cobra, 0, 100_000, 42, 0..2);
+        let one = lane_cover_times(&g, &cobra, 0, 100_000, 42, 0..1);
+        let tail = lane_cover_times(&g, &cobra, 0, 100_000, 42, 1..2);
+        assert_eq!(two.len(), 2 * LANE_WIDTH);
+        assert_eq!(&two[..LANE_WIDTH], &one[..]);
+        assert_eq!(&two[LANE_WIDTH..], &tail[..]);
+    }
+
+    #[test]
+    fn lane_runner_truncates_partial_batches() {
+        // 70 trials = one full batch + 6 lanes of the second; the runner
+        // must report exactly 70, and they must be the 70-prefix of a
+        // 128-trial run.
+        let g = classic::complete(16).unwrap();
+        let cobra = CobraWalk::standard();
+        let out = run_cover_trials_lanes(&g, &cobra, 0, &TrialPlan::new(70, 10_000, 9));
+        assert_eq!(out.summary.count() + out.censored, 70);
+        let full = lane_cover_times(&g, &cobra, 0, 10_000, 9, 0..2);
+        let oracle = aggregate(full[..70].to_vec());
+        assert_eq!(out.summary.count(), oracle.summary.count());
+        assert_eq!(out.summary.mean(), oracle.summary.mean());
+        assert_eq!(out.summary.median(), oracle.summary.median());
+    }
+
+    #[test]
+    fn auto_runner_routes_by_eligibility() {
+        let g = classic::cycle(16).unwrap();
+        let cobra = CobraWalk::standard();
+        // Eligible cell: auto must equal the lane runner bitwise.
+        let plan = TrialPlan::new(128, 100_000, 5);
+        let auto_out = run_cover_trials_auto(&g, &cobra, 0, &plan);
+        let lanes = run_cover_trials_lanes(&g, &cobra, 0, &plan);
+        assert_eq!(auto_out.summary.mean(), lanes.summary.mean());
+        assert_eq!(auto_out.summary.median(), lanes.summary.median());
+        // Ineligible cell (too few trials): auto must equal the scratch
+        // engine bitwise.
+        let small_plan = TrialPlan::new(20, 100_000, 5);
+        let auto_small = run_cover_trials_auto(&g, &cobra, 0, &small_plan);
+        let typed = run_cover_trials_typed(&g, &cobra, 0, &small_plan);
+        assert_eq!(auto_small.summary.mean(), typed.summary.mean());
+        assert_eq!(auto_small.summary.median(), typed.summary.median());
+    }
+
+    #[test]
+    fn adaptive_lanes_is_prefix_of_fixed_lanes() {
+        let g = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let rule = StopRule::new(64, 640, 0.05);
+        let plan = AdaptivePlan::new(rule, 16, 100_000, 77);
+        let out = run_cover_trials_adaptive_lanes(&g, &cobra, 0, &plan);
+        assert!(out.precision_met);
+        let n = out.trials_run();
+        assert!((rule.min_trials..=rule.max_trials).contains(&n));
+        let fixed = run_cover_trials_lanes(&g, &cobra, 0, &TrialPlan::new(n, 100_000, 77));
+        assert_eq!(out.summary.count(), fixed.summary.count());
+        assert_eq!(out.censored, fixed.censored);
+        assert_eq!(out.summary.mean(), fixed.summary.mean());
+        assert_eq!(out.summary.median(), fixed.summary.median());
+        assert_eq!(out.summary.min(), fixed.summary.min());
+        assert_eq!(out.summary.max(), fixed.summary.max());
+    }
+
+    #[test]
+    fn adaptive_lanes_is_batch_size_independent() {
+        let g = classic::complete(16).unwrap();
+        let cobra = CobraWalk::standard();
+        let rule = StopRule::new(64, 500, 0.04);
+        let mut reference: Option<AdaptiveOutcome> = None;
+        for batch in [1usize, 7, 64] {
+            let plan = AdaptivePlan::new(rule, batch, 10_000, 0xAB);
+            let out = run_cover_trials_adaptive_lanes(&g, &cobra, 0, &plan);
+            if let Some(r) = &reference {
+                assert_eq!(out.summary.count(), r.summary.count(), "batch {batch}");
+                assert_eq!(out.summary.mean(), r.summary.mean(), "batch {batch}");
+                assert_eq!(out.censored, r.censored, "batch {batch}");
+                assert_eq!(out.precision_met, r.precision_met, "batch {batch}");
+            } else {
+                reference = Some(out);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_auto_routes_by_trial_cap() {
+        let g = classic::cycle(16).unwrap();
+        let cobra = CobraWalk::standard();
+        // Cap ≥ 64 → lanes; compare against the lane engine bitwise.
+        let plan = AdaptivePlan::new(StopRule::new(64, 200, 0.03), 16, 100_000, 3);
+        let auto_out = run_cover_trials_adaptive_auto(&g, &cobra, 0, &plan);
+        let lanes = run_cover_trials_adaptive_lanes(&g, &cobra, 0, &plan);
+        assert_eq!(auto_out.summary.count(), lanes.summary.count());
+        assert_eq!(auto_out.summary.mean(), lanes.summary.mean());
+        // Cap < 64 → scratch engine.
+        let small = AdaptivePlan::new(StopRule::new(8, 40, 0.2), 8, 100_000, 3);
+        let auto_small = run_cover_trials_adaptive_auto(&g, &cobra, 0, &small);
+        let scratch = run_cover_trials_adaptive(&g, &cobra, 0, &small);
+        assert_eq!(auto_small.summary.count(), scratch.summary.count());
+        assert_eq!(auto_small.summary.mean(), scratch.summary.mean());
+    }
+
+    #[test]
+    fn adaptive_lanes_fully_censored_runs_to_cap() {
+        // A 3-step budget cannot cover a 60-path: every lane censors,
+        // the engine must run to the cap and report failure as a value.
+        let g = classic::path(60).unwrap();
+        let rule = StopRule::new(64, 128, 0.1);
+        let plan = AdaptivePlan::new(rule, 16, 3, 3);
+        let out = run_cover_trials_adaptive_lanes(&g, &SimpleWalk::new(), 0, &plan);
+        assert!(!out.precision_met);
+        assert_eq!(out.censored, 128);
+        assert_eq!(out.summary.count(), 0);
     }
 }

@@ -36,6 +36,46 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Two-sample Kolmogorov–Smirnov statistic `D = sup_x |F_a(x) − F_b(x)|`
+/// between the empirical CDFs of two samples (values must be finite).
+///
+/// This is the distribution-equivalence yardstick for engines whose
+/// per-trial RNG streams legitimately differ — the bit-sliced lane
+/// engine shares neighbor draws across lanes, so its cover times cannot
+/// be compared to the serial engine's trial-by-trial, only in
+/// distribution. Reject at level α when
+/// `D > c(α) · sqrt((n + m) / (n · m))` with e.g. `c(0.001) ≈ 1.95`.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS distance of empty sample"
+    );
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    // Finite-only samples (as Summary enforces on push) sort totally.
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("finite samples"));
+    let (n, m) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    // Merge walk over the pooled order statistics: at each distinct merge
+    // point `v`, consume *every* copy of `v` from both samples (a gap
+    // read mid-tie is not a CDF evaluation), then |i/n − j/m| is the CDF
+    // gap just right of `v`. The supremum is attained at such points.
+    while i < xs.len() && j < ys.len() {
+        let v = xs[i].min(ys[j]);
+        while i < xs.len() && xs[i] == v {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] == v {
+            j += 1;
+        }
+        d = d.max((i as f64 / n - j as f64 / m).abs());
+    }
+    // Once one sample is exhausted the gap only shrinks toward 0.
+    d
+}
+
 /// Error: a statistic was requested from a summary with zero observations
 /// (e.g. every trial of a batch was censored). Surfacing this as a value
 /// instead of a panic/NaN lets sweep code skip or report empty cells.
@@ -228,6 +268,48 @@ impl Default for Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [3.0, 1.0, 4.0, 1.5, 9.0];
+        assert_eq!(ks_distance(&a, &a), 0.0);
+        // Order must not matter.
+        let b = [9.0, 1.5, 1.0, 4.0, 3.0];
+        assert_eq!(ks_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        assert_eq!(ks_distance(&a, &b), 1.0);
+        assert_eq!(ks_distance(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn ks_half_overlap_known_value() {
+        // F_a and F_b differ by exactly 0.5 just below 3 (and nowhere
+        // more): a has {1,2} extra on the left, b has {5,6} on the right.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [3.0, 4.0, 5.0, 6.0];
+        assert_eq!(ks_distance(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn ks_handles_unequal_sizes_and_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0, 3.0, 3.0];
+        let d = ks_distance(&a, &b);
+        // F_a(1) = 2/3 vs F_b(1) = 1/6 → D = 1/2.
+        assert!((d - 0.5).abs() < 1e-12, "D = {d}");
+        assert_eq!(ks_distance(&b, &a), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ks_rejects_empty_sample() {
+        ks_distance(&[], &[1.0]);
+    }
 
     #[test]
     fn basic_moments() {
