@@ -5,7 +5,7 @@
 //!
 //! * `legacy` — a frozen copy of the pre-frontier-engine (PR 1) cobra
 //!   kernel and cover loop (insertion-order `Vec` active set, epoch
-//!   [`DenseSet`] dedup, `Vec<bool>` coverage). This is the fixed
+//!   `DenseSet` dedup, `Vec<bool>` coverage). This is the fixed
 //!   reference the ISSUE-2 "≥ 2× on the 64×64 grid" gate is measured
 //!   against; it never changes again.
 //! * `dyn` — the current engine through the `Box<dyn ProcessState>` API.

@@ -1,0 +1,367 @@
+//! **Implicit-graph perf/memory baseline:** compares the CSR trial
+//! engine against the arithmetic implicit path on representation pairs
+//! where both exist, then pushes one giant implicit-only cover run and
+//! asserts — with a byte-counting global allocator — that it never
+//! materializes adjacency. Writes `BENCH_implicit.json`:
+//!
+//! * paired cells (`grid`, `hypercube`, `complete`): cover steps/second
+//!   through `run_cover_trials_typed` (CSR + `NeighborSampler` table)
+//!   vs `run_cover_trials_implicit` (no adjacency, draws computed
+//!   arithmetically), after asserting the two streams are bit-identical
+//!   on the CSR representation and across representations;
+//! * a giant implicit-only cell (hypercube; CSR would need gigabytes of
+//!   adjacency): steps/second through `run_cover_succinct` with a
+//!   preallocated [`SuccinctCoverage`], total bytes allocated (hard
+//!   budget: 256 MB), the CSR adjacency bytes the run *avoided*, and
+//!   the process peak RSS (`VmHWM`).
+//!
+//! The paired cells are honest about the trade: the CSR table can
+//! out-draw division-heavy implicit arithmetic per step — the implicit
+//! path's win is O(1) memory and setup, which the giant cell and
+//! `tests/implicit_scale.rs` pin. No speed gate, a hard memory gate.
+//!
+//! Usage: `bench_implicit [--quick] [--seed <u64>] [--out <path>]`
+//! `--quick` is the CI smoke mode (smaller cells, same structure).
+
+use cobra_core::{run_cover_succinct, CobraWalk, SuccinctCoverage};
+use cobra_graph::generators::{classic, grid, hypercube};
+use cobra_graph::{Graph, ImplicitComplete, ImplicitGraph, ImplicitGrid, ImplicitHypercube};
+use cobra_sim::runner::{TrialOutcome, TrialPlan};
+use cobra_sim::{run_cover_trials_implicit, run_cover_trials_typed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapper counting every byte requested, so the
+/// giant-cell "no adjacency was materialized" claim is an assertion
+/// rather than a comment.
+struct ByteCountingAllocator;
+
+static BYTES_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for ByteCountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES_ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        BYTES_ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES_ALLOCATED.fetch_add(new_size, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: ByteCountingAllocator = ByteCountingAllocator;
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `(completed, censored, step_sum)` digest for cross-engine identity
+/// checks and steps/second accounting (censored trials contribute their
+/// full budget — they ran those steps too).
+fn digest(out: &TrialOutcome, max_steps: usize) -> (usize, usize, f64) {
+    let sum = out
+        .summary
+        .try_mean()
+        .map(|m| m * out.summary.count() as f64)
+        .unwrap_or(0.0);
+    (
+        out.summary.count(),
+        out.censored,
+        sum + (out.censored * max_steps) as f64,
+    )
+}
+
+struct PairResult {
+    name: String,
+    n: usize,
+    trials: usize,
+    reps: usize,
+    csr_steps_per_sec: f64,
+    implicit_steps_per_sec: f64,
+}
+
+/// Time one CSR/implicit representation pair on a cover cell. Asserts
+/// stream identity first: the implicit runner on the CSR graph must be
+/// bit-identical to the typed runner, and the implicit family must
+/// reproduce the same outcomes (its arithmetic adjacency is the same
+/// graph in the same order).
+fn time_pair<G: ImplicitGraph>(
+    name: &str,
+    csr: &Graph,
+    implicit: &G,
+    plan: &TrialPlan,
+    warmup: usize,
+    reps: usize,
+) -> PairResult {
+    let process = CobraWalk::standard();
+    assert_eq!(csr.num_vertices(), implicit.num_vertices(), "{name}: n");
+
+    let typed = digest(
+        &run_cover_trials_typed(csr, &process, 0, plan),
+        plan.max_steps,
+    );
+    let via_csr = digest(
+        &run_cover_trials_implicit(csr, &process, 0, plan),
+        plan.max_steps,
+    );
+    let via_implicit = digest(
+        &run_cover_trials_implicit(implicit, &process, 0, plan),
+        plan.max_steps,
+    );
+    assert_eq!(typed, via_csr, "{name}: implicit runner diverged on CSR");
+    assert_eq!(typed, via_implicit, "{name}: implicit family diverged");
+
+    let csr_steps_per_sec = {
+        for _ in 0..warmup {
+            black_box(run_cover_trials_typed(csr, &process, 0, plan));
+        }
+        let t = Instant::now();
+        let mut steps = 0.0;
+        for _ in 0..reps {
+            let out = black_box(run_cover_trials_typed(csr, &process, 0, plan));
+            steps += digest(&out, plan.max_steps).2;
+        }
+        steps / t.elapsed().as_secs_f64()
+    };
+    let implicit_steps_per_sec = {
+        for _ in 0..warmup {
+            black_box(run_cover_trials_implicit(implicit, &process, 0, plan));
+        }
+        let t = Instant::now();
+        let mut steps = 0.0;
+        for _ in 0..reps {
+            let out = black_box(run_cover_trials_implicit(implicit, &process, 0, plan));
+            steps += digest(&out, plan.max_steps).2;
+        }
+        steps / t.elapsed().as_secs_f64()
+    };
+
+    PairResult {
+        name: name.to_string(),
+        n: csr.num_vertices(),
+        trials: plan.trials,
+        reps,
+        csr_steps_per_sec,
+        implicit_steps_per_sec,
+    }
+}
+
+struct GiantResult {
+    dim: u32,
+    n: usize,
+    steps: usize,
+    seconds: f64,
+    steps_per_sec: f64,
+    bytes_allocated: usize,
+    csr_adjacency_bytes_avoided: usize,
+    peak_rss_kb: Option<u64>,
+}
+
+/// The implicit-only giant cell: one 2-cobra cover run of `Q_dim`
+/// through [`run_cover_succinct`], under the byte counter. Runs
+/// single-threaded before any rayon pool exists, so the counter sees
+/// only the run itself.
+fn run_giant(dim: u32, seed: u64) -> GiantResult {
+    let before = BYTES_ALLOCATED.load(Ordering::Relaxed);
+    let g = ImplicitHypercube::new(dim).expect("dimension in range");
+    let n = g.num_vertices();
+    let mut covered = SuccinctCoverage::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Instant::now();
+    let res = run_cover_succinct(
+        &g,
+        &CobraWalk::standard(),
+        &mut covered,
+        0,
+        10_000,
+        &mut rng,
+    )
+    .expect("non-empty graph");
+    let seconds = t.elapsed().as_secs_f64();
+    let bytes_allocated = BYTES_ALLOCATED.load(Ordering::Relaxed) - before;
+
+    assert!(
+        res.completed,
+        "2-cobra failed to cover Q{dim} in 10k rounds"
+    );
+    const BUDGET: usize = 256 << 20;
+    assert!(
+        bytes_allocated < BUDGET,
+        "giant implicit run allocated {bytes_allocated} bytes (≥ {BUDGET}): \
+         adjacency-sized memory crept into the no-materialization path"
+    );
+
+    GiantResult {
+        dim,
+        n,
+        steps: res.steps,
+        seconds,
+        steps_per_sec: res.steps as f64 / seconds,
+        bytes_allocated,
+        csr_adjacency_bytes_avoided: n * dim as usize * std::mem::size_of::<u32>(),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn render_json(mode: &str, pairs: &[PairResult], giant: &GiantResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cobra-bench/implicit-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"pairs\": [\n");
+    for (i, r) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"trials\": {}, \"reps\": {}, \
+             \"csr_steps_per_sec\": {:.0}, \"implicit_steps_per_sec\": {:.0}, \
+             \"implicit_over_csr\": {:.2}}}{}\n",
+            r.name,
+            r.n,
+            r.trials,
+            r.reps,
+            r.csr_steps_per_sec,
+            r.implicit_steps_per_sec,
+            r.implicit_steps_per_sec / r.csr_steps_per_sec,
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"giant\": {{\"family\": \"hypercube\", \"dim\": {}, \"n\": {}, \
+         \"cover_steps\": {}, \"seconds\": {:.3}, \"steps_per_sec\": {:.1}, \
+         \"bytes_allocated\": {}, \"csr_adjacency_bytes_avoided\": {}, \
+         \"peak_rss_kb\": {}}}\n",
+        giant.dim,
+        giant.n,
+        giant.steps,
+        giant.seconds,
+        giant.steps_per_sec,
+        giant.bytes_allocated,
+        giant.csr_adjacency_bytes_avoided,
+        giant
+            .peak_rss_kb
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 0xC0B7Au64;
+    let mut out_path = "BENCH_implicit.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a u64 value");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("usage: bench_implicit [--quick] [--seed <u64>] [--out <path>]");
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    let (warmup, reps, trials) = if quick { (1, 3, 8) } else { (2, 8, 32) };
+    // Giant cell: Q24 (16.8M vertices, ~2.7 GB of avoided CSR
+    // adjacency) in full mode; Q20 (1M) for CI smoke.
+    let giant_dim: u32 = if quick { 20 } else { 24 };
+
+    // Before any rayon pool exists: the single-threaded giant cell under
+    // a clean byte counter.
+    let giant = run_giant(giant_dim, seed ^ 0x5CA1E);
+    println!(
+        "giant: hypercube Q{} (n = {}) covered in {} rounds, {:.2}s, {:.1} MB allocated, \
+         avoided {:.1} MB of CSR adjacency, peak RSS {} kB",
+        giant.dim,
+        giant.n,
+        giant.steps,
+        giant.seconds,
+        giant.bytes_allocated as f64 / (1 << 20) as f64,
+        giant.csr_adjacency_bytes_avoided as f64 / (1 << 20) as f64,
+        giant.peak_rss_kb.unwrap_or(0),
+    );
+
+    let (grid_extent, cube_dim, complete_n) = if quick {
+        (63, 12, 512)
+    } else {
+        (255, 16, 2048)
+    };
+    let plan = TrialPlan::new(trials, 1_000_000, seed);
+    let pairs = vec![
+        time_pair(
+            &format!("grid_{0}x{0}", grid_extent + 1),
+            &grid::grid(&[grid_extent, grid_extent]),
+            &ImplicitGrid::new(&[grid_extent, grid_extent]).unwrap(),
+            &plan,
+            warmup,
+            reps,
+        ),
+        time_pair(
+            &format!("hypercube_{cube_dim}"),
+            &hypercube::hypercube(cube_dim),
+            &ImplicitHypercube::new(cube_dim).unwrap(),
+            &plan,
+            warmup,
+            reps,
+        ),
+        time_pair(
+            &format!("complete_{complete_n}"),
+            &classic::complete(complete_n).unwrap(),
+            &ImplicitComplete::new(complete_n).unwrap(),
+            &plan,
+            warmup,
+            reps,
+        ),
+    ];
+
+    for r in &pairs {
+        println!(
+            "{:16} n={:6} trials={:3}  csr {:12.0} steps/s  implicit {:12.0} steps/s  ratio {:4.2}",
+            r.name,
+            r.n,
+            r.trials,
+            r.csr_steps_per_sec,
+            r.implicit_steps_per_sec,
+            r.implicit_steps_per_sec / r.csr_steps_per_sec,
+        );
+    }
+
+    let json = render_json(mode, &pairs, &giant);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -9,7 +9,7 @@
 //!   `CoverageMask`, recompute-per-draw neighbor sampling, plain
 //!   `par_iter().map()`. This is the fixed reference the ISSUE-3 "≥ 1.5×
 //!   on the headline cell" gate is measured against.
-//! * `scratch` — the per-trial engine: per-worker [`TrialScratch`] via
+//! * `scratch` — the per-trial engine: per-worker `TrialScratch` via
 //!   `map_init`, O(dirty) respawn/reset, and the per-graph
 //!   `NeighborSampler` table.
 //! * `lanes` — the bit-sliced 64-lane engine

@@ -14,8 +14,10 @@
 //! `k = 2`.
 
 use crate::frontier::Frontier;
-use crate::process::{DrawOnTheFly, NeighborDraw, Process, ProcessState, TypedProcess, TypedState};
-use cobra_graph::{Graph, Vertex};
+use crate::process::{
+    ImplicitDraw, NeighborDraw, Process, ProcessState, StateView, TypedProcess, TypedState,
+};
+use cobra_graph::{Graph, ImplicitGraph, Vertex};
 use rand::Rng;
 
 /// Specification of a `k`-cobra walk.
@@ -55,10 +57,10 @@ impl Process for CobraWalk {
     }
 }
 
-impl TypedProcess for CobraWalk {
+impl<G: ImplicitGraph + ?Sized> TypedProcess<G> for CobraWalk {
     type State = CobraState;
 
-    fn spawn_typed(&self, g: &Graph, start: Vertex) -> CobraState {
+    fn spawn_typed(&self, g: &G, start: Vertex) -> CobraState {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
         let mut cur = Frontier::new(g.num_vertices());
         cur.insert(start);
@@ -75,7 +77,7 @@ impl TypedProcess for CobraWalk {
         Some(self.branching_factor)
     }
 
-    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut CobraState) {
+    fn respawn_typed(&self, g: &G, start: Vertex, state: &mut CobraState) {
         let n = g.num_vertices();
         if state.cur.capacity() != n {
             *state = self.spawn_typed(g, start);
@@ -120,9 +122,9 @@ impl CobraState {
     /// rematerializes its `occupied()` slice after the round while the
     /// fast route drops that bookkeeping entirely — same draws either way.
     #[inline]
-    fn advance<const MAINTAIN_OCC: bool, D: NeighborDraw, R: Rng + ?Sized>(
+    fn advance<const MAINTAIN_OCC: bool, G: ?Sized, D: NeighborDraw<G>, R: Rng + ?Sized>(
         &mut self,
-        g: &Graph,
+        g: &G,
         draw: &D,
         rng: &mut R,
     ) {
@@ -140,19 +142,7 @@ impl CobraState {
     }
 }
 
-impl TypedState for CobraState {
-    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<true, _, R>(g, &DrawOnTheFly, rng);
-    }
-
-    fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance::<false, _, R>(g, &DrawOnTheFly, rng);
-    }
-
-    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
-        self.advance::<false, D, R>(g, draw, rng);
-    }
-
+impl StateView for CobraState {
     fn occupied(&self) -> &[Vertex] {
         &self.occ
     }
@@ -163,6 +153,23 @@ impl TypedState for CobraState {
 
     fn frontier(&self) -> Option<&Frontier> {
         Some(&self.cur)
+    }
+}
+
+impl<G: ImplicitGraph + ?Sized> TypedState<G> for CobraState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R) {
+        // `ImplicitDraw` resolves identical vertices from the identical
+        // stream as the old slice-based default on CSR graphs, so the dyn
+        // route's draws are unchanged.
+        self.advance::<true, G, _, R>(g, &ImplicitDraw, rng);
+    }
+
+    fn step_fast<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R) {
+        self.advance::<false, G, _, R>(g, &ImplicitDraw, rng);
+    }
+
+    fn step_sampled<D: NeighborDraw<G>, R: Rng + ?Sized>(&mut self, g: &G, draw: &D, rng: &mut R) {
+        self.advance::<false, G, D, R>(g, draw, rng);
     }
 }
 

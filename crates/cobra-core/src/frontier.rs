@@ -119,7 +119,7 @@ impl Frontier {
     }
 
     /// Insert `v`; returns `true` if it was newly inserted. Keeps `len`
-    /// exact; walk kernels use [`Frontier::insert_quiet`] instead, which
+    /// exact; walk kernels use `Frontier::insert_quiet` instead, which
     /// skips everything a hot loop does not need.
     #[inline]
     pub fn insert(&mut self, v: Vertex) -> bool {

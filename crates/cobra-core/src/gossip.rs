@@ -193,7 +193,9 @@ impl TypedState for GossipState {
             }
         }
     }
+}
 
+impl crate::process::StateView for GossipState {
     fn occupied(&self) -> &[Vertex] {
         &self.informed_list[self.fresh_from..]
     }

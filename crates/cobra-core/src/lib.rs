@@ -54,6 +54,7 @@ pub mod biased;
 pub mod branching;
 pub mod coalescing;
 pub mod cobra;
+pub mod coverage;
 pub mod frontier;
 pub mod gossip;
 pub mod lanes;
@@ -74,14 +75,15 @@ pub use biased::{BiasedWalk, Controller, MetropolisWalk, TowardTarget};
 pub use branching::BranchingWalk;
 pub use coalescing::CoalescingWalks;
 pub use cobra::CobraWalk;
+pub use coverage::SuccinctCoverage;
 pub use frontier::{CoverageMask, Frontier};
 pub use gossip::{PullGossip, PushGossip, PushPullGossip};
 pub use lanes::{run_lane_cover, LaneOutcome, LaneScratch, LANE_WIDTH};
-pub use measure::{CoverDriver, CoverResult, HittingDriver, HittingResult};
+pub use measure::{run_cover_succinct, CoverDriver, CoverResult, HittingDriver, HittingResult};
 pub use parallel_walks::ParallelWalks;
 pub use process::{
-    BoundDraw, DrawOnTheFly, NeighborDraw, Process, ProcessState, SliceDraw, TypedProcess,
-    TypedState,
+    BoundDraw, DrawOnTheFly, ImplicitDraw, NeighborDraw, Process, ProcessState, SliceDraw,
+    StateView, TypedProcess, TypedState,
 };
 pub use queueing::DriftChain;
 pub use schedule::{BranchingSchedule, ScheduledCobraWalk};

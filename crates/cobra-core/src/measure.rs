@@ -11,9 +11,9 @@
 //!   [`matthews_ratio`].
 
 use crate::frontier::CoverageMask;
-use crate::process::{NeighborDraw, Process, TypedProcess, TypedState};
+use crate::process::{NeighborDraw, Process, StateView, TypedProcess, TypedState};
 use crate::scratch::TrialScratch;
-use cobra_graph::{Graph, Vertex};
+use cobra_graph::{Graph, ImplicitGraph, Vertex};
 use rand::Rng;
 
 /// Outcome of a cover-time run.
@@ -30,14 +30,21 @@ pub struct CoverResult {
 }
 
 /// Drives a process on a graph until coverage or a step budget.
-pub struct CoverDriver<'g> {
-    g: &'g Graph,
+///
+/// Generic over the graph representation: `G = Graph` (the CSR default)
+/// keeps every existing call site unchanged, while any
+/// [`ImplicitGraph`] family runs the same monomorphized kernels without
+/// materializing adjacency. The dyn-dispatch [`CoverDriver::run`] entry
+/// point exists only for CSR graphs ([`crate::process::Process`] is
+/// CSR-typed); the typed paths are available for every `G`.
+pub struct CoverDriver<'g, G: ?Sized = Graph> {
+    g: &'g G,
     record_trajectory: bool,
 }
 
-impl<'g> CoverDriver<'g> {
+impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
     /// Driver for graph `g`.
-    pub fn new(g: &'g Graph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         CoverDriver {
             g,
             record_trajectory: false,
@@ -50,7 +57,9 @@ impl<'g> CoverDriver<'g> {
         self.record_trajectory = true;
         self
     }
+}
 
+impl<'g> CoverDriver<'g, Graph> {
     /// Run `process` from `start` until the graph is covered or
     /// `max_steps` rounds elapse. Returns `None` only if the graph has no
     /// vertices.
@@ -108,14 +117,16 @@ impl<'g> CoverDriver<'g> {
             trajectory,
         })
     }
+}
 
+impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
     /// Monomorphized fast path: identical semantics (and, on the same
     /// seed, identical results — see `tests/engine_equivalence.rs`) to
     /// [`CoverDriver::run`], but with zero virtual dispatch. The process
     /// state, the RNG, and the coverage bookkeeping all inline; coverage
     /// is tracked in a [`CoverageMask`] and updated word-parallel whenever
     /// the process exposes a dense [`crate::frontier::Frontier`].
-    pub fn run_typed<P: TypedProcess, R: Rng + ?Sized>(
+    pub fn run_typed<P: TypedProcess<G>, R: Rng + ?Sized>(
         &self,
         process: &P,
         start: Vertex,
@@ -177,7 +188,7 @@ impl<'g> CoverDriver<'g> {
     /// When trajectory recording is on, the trajectory is both returned
     /// in the [`CoverResult`] (cloned) and left in
     /// [`TrialScratch::trajectory`] (borrowed, allocation-free).
-    pub fn run_typed_in<P: TypedProcess, D: NeighborDraw, R: Rng + ?Sized>(
+    pub fn run_typed_in<P: TypedProcess<G>, D: NeighborDraw<G>, R: Rng + ?Sized>(
         &self,
         process: &P,
         draw: &D,
@@ -243,16 +254,22 @@ pub struct HittingResult {
 }
 
 /// Drives a process until a target vertex is occupied.
-pub struct HittingDriver<'g> {
-    g: &'g Graph,
+///
+/// Generic over the graph representation exactly like [`CoverDriver`]:
+/// the dyn-dispatch [`HittingDriver::run`] is CSR-only, the typed paths
+/// work for any [`ImplicitGraph`].
+pub struct HittingDriver<'g, G: ?Sized = Graph> {
+    g: &'g G,
 }
 
-impl<'g> HittingDriver<'g> {
+impl<'g, G: ImplicitGraph + ?Sized> HittingDriver<'g, G> {
     /// Driver for graph `g`.
-    pub fn new(g: &'g Graph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         HittingDriver { g }
     }
+}
 
+impl<'g> HittingDriver<'g, Graph> {
     /// Run `process` from `start` until some pebble occupies `target` or
     /// `max_steps` rounds elapse. A run started *at* the target hits at
     /// step 0.
@@ -285,13 +302,15 @@ impl<'g> HittingDriver<'g> {
             hit: false,
         }
     }
+}
 
+impl<'g, G: ImplicitGraph + ?Sized> HittingDriver<'g, G> {
     /// Monomorphized fast path for hitting times; identical semantics and
     /// seed-for-seed results to [`HittingDriver::run`]. When the process
     /// exposes a [`crate::frontier::Frontier`], the per-round hit test is
     /// an O(1)/O(log s) membership query instead of a linear scan of the
     /// occupied slice.
-    pub fn run_typed<P: TypedProcess, R: Rng + ?Sized>(
+    pub fn run_typed<P: TypedProcess<G>, R: Rng + ?Sized>(
         &self,
         process: &P,
         start: Vertex,
@@ -332,7 +351,7 @@ impl<'g> HittingDriver<'g> {
     /// coverage mask and trajectory buffer are untouched — hitting runs
     /// only need the state).
     #[allow(clippy::too_many_arguments)] // mirrors run_typed + (draw, scratch)
-    pub fn run_typed_in<P: TypedProcess, D: NeighborDraw, R: Rng + ?Sized>(
+    pub fn run_typed_in<P: TypedProcess<G>, D: NeighborDraw<G>, R: Rng + ?Sized>(
         &self,
         process: &P,
         draw: &D,
@@ -373,6 +392,73 @@ impl<'g> HittingDriver<'g> {
             hit: false,
         }
     }
+}
+
+/// Run one cover trial of `process` on any [`ImplicitGraph`], tracking
+/// coverage in a caller-owned [`crate::coverage::SuccinctCoverage`].
+///
+/// This is the giant-run entry point: the caller preallocates (and can
+/// reuse, via [`crate::coverage::SuccinctCoverage::reset`]) the coverage
+/// structure, the graph is consulted only through arithmetic
+/// [`ImplicitGraph`] calls, and the step kernel is the same monomorphized
+/// path as [`CoverDriver::run_typed`] — so on `G = Graph` the two agree
+/// draw-for-draw (the coverage structure never touches the RNG). See
+/// `tests/implicit_scale.rs`, which pushes this through 10⁸ vertices
+/// without materializing adjacency.
+pub fn run_cover_succinct<G, P, R>(
+    g: &G,
+    process: &P,
+    covered: &mut crate::coverage::SuccinctCoverage,
+    start: Vertex,
+    max_steps: usize,
+    rng: &mut R,
+) -> Option<CoverResult>
+where
+    G: ImplicitGraph + ?Sized,
+    P: TypedProcess<G>,
+    R: Rng + ?Sized,
+{
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    assert_eq!(
+        covered.capacity(),
+        n,
+        "coverage sized for a different graph"
+    );
+    covered.reset();
+    let mut state = process.spawn_typed(g, start);
+    covered.mark_slice(state.occupied());
+    if covered.is_complete() {
+        return Some(CoverResult {
+            steps: 0,
+            covered: n,
+            completed: true,
+            trajectory: None,
+        });
+    }
+    for t in 1..=max_steps {
+        state.step_fast(g, rng);
+        match state.frontier() {
+            Some(f) => covered.union_from_frontier(f),
+            None => covered.mark_slice(state.occupied()),
+        };
+        if covered.is_complete() {
+            return Some(CoverResult {
+                steps: t,
+                covered: n,
+                completed: true,
+                trajectory: None,
+            });
+        }
+    }
+    Some(CoverResult {
+        steps: max_steps,
+        covered: covered.count(),
+        completed: false,
+        trajectory: None,
+    })
 }
 
 /// Estimate `h_max = max_{u,v} H(u, v)` by measuring the mean hitting time

@@ -5,7 +5,7 @@
 //! split exists so the Monte-Carlo engine can share one specification
 //! across rayon worker threads while each trial owns its own state.
 
-use cobra_graph::{Graph, Vertex};
+use cobra_graph::{Graph, ImplicitGraph, Vertex};
 use rand::Rng;
 
 /// An immutable specification of a walk process on a graph.
@@ -67,13 +67,13 @@ impl<T: Process + ?Sized> Process for &T {
 /// these types boxes the *same* state struct, so both routes execute
 /// identical code and consume identical RNG streams (the seed-equivalence
 /// harness in `tests/engine_equivalence.rs` pins this bit-for-bit).
-pub trait TypedProcess: Process {
+pub trait TypedProcess<G: ImplicitGraph + ?Sized = Graph>: Process {
     /// The concrete per-run state.
-    type State: TypedState + 'static;
+    type State: TypedState<G> + 'static;
 
     /// Create a fresh, unboxed run of the process (fast-path analogue of
     /// [`Process::spawn`]).
-    fn spawn_typed(&self, g: &Graph, start: Vertex) -> Self::State;
+    fn spawn_typed(&self, g: &G, start: Vertex) -> Self::State;
 
     /// Reinitialize an existing state for a new run from `start`,
     /// producing a state observationally identical to
@@ -82,7 +82,7 @@ pub trait TypedProcess: Process {
     /// processes override it to reuse the state's buffers (O(dirty)
     /// clears, zero heap traffic), which is what makes the batched trial
     /// engine ([`crate::TrialScratch`]) allocation-free after warm-up.
-    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut Self::State) {
+    fn respawn_typed(&self, g: &G, start: Vertex, state: &mut Self::State) {
         *state = self.spawn_typed(g, start);
     }
 
@@ -99,53 +99,76 @@ pub trait TypedProcess: Process {
 }
 
 /// Blanket impl so `&T` specifications keep the typed route too.
-impl<T: TypedProcess> TypedProcess for &T {
+impl<G: ImplicitGraph + ?Sized, T: TypedProcess<G>> TypedProcess<G> for &T {
     type State = T::State;
 
-    fn spawn_typed(&self, g: &Graph, start: Vertex) -> Self::State {
+    fn spawn_typed(&self, g: &G, start: Vertex) -> Self::State {
         (**self).spawn_typed(g, start)
     }
 
-    fn respawn_typed(&self, g: &Graph, start: Vertex, state: &mut Self::State) {
+    fn respawn_typed(&self, g: &G, start: Vertex, state: &mut Self::State) {
         (**self).respawn_typed(g, start, state)
     }
 
     fn lane_branching(&self) -> Option<u32> {
-        (**self).lane_branching()
+        TypedProcess::<G>::lane_branching(&**self)
     }
 }
 
-/// Statically dispatched analogue of [`ProcessState`].
+/// The graph-independent read side of a typed walk state.
 ///
-/// The contract is identical to [`ProcessState`]; the only difference is
-/// that [`TypedState::step`] is generic over the RNG, so a driver holding a
-/// concrete `StdRng` monomorphizes the whole step (no `dyn Rng` virtual
-/// call per random draw). Every implementor automatically implements
-/// [`ProcessState`] through a blanket impl that instantiates the same
-/// `step` with `R = dyn Rng` — one body, two dispatch styles, so the two
-/// routes cannot drift apart.
-pub trait TypedState {
-    /// Advance one round. Must draw from `rng` exactly as the dyn route
-    /// does (it is the same code, instantiated twice).
-    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R);
-
-    /// Advance one round on the fast path. Must consume the same RNG
-    /// stream and produce the same occupied *set* as [`TypedState::step`],
-    /// but may skip materializing the [`TypedState::occupied`] slice
-    /// (leaving it stale) when the state exposes a
-    /// [`TypedState::frontier`] — the typed drivers read the frontier and
-    /// [`TypedState::support_size`] instead. Defaults to `step`.
-    fn step_fast<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.step(g, rng)
-    }
-
-    /// Vertices occupied after the last step. May contain duplicates.
+/// Split out of [`TypedState`] so that states implementing
+/// `TypedState<G>` for *every* implicit graph `G` still expose
+/// unambiguous introspection: `st.occupied()` needs no graph type to
+/// resolve, while the stepping methods (which mention `G` in their
+/// signatures) live on [`TypedState`] and infer `G` from the graph
+/// argument at the call site.
+pub trait StateView {
+    /// Vertices occupied after the last step (or the initial configuration
+    /// before any step). May contain duplicates.
     fn occupied(&self) -> &[Vertex];
 
     /// Number of tokens currently maintained; see
     /// [`ProcessState::support_size`].
     fn support_size(&self) -> usize {
         self.occupied().len()
+    }
+
+    /// The hybrid sparse/dense frontier describing the occupied set, when
+    /// the process maintains one (set-valued processes: cobra, SIS).
+    /// Drivers use it for word-parallel coverage union and O(1)/O(log s)
+    /// hit tests; `None` falls back to the [`StateView::occupied`] slice.
+    fn frontier(&self) -> Option<&crate::frontier::Frontier> {
+        None
+    }
+}
+
+/// Statically dispatched analogue of [`ProcessState`], generic over the
+/// graph representation.
+///
+/// The contract is identical to [`ProcessState`]; the differences are
+/// that [`TypedState::step`] is generic over the RNG, so a driver holding a
+/// concrete `StdRng` monomorphizes the whole step (no `dyn Rng` virtual
+/// call per random draw), and over the graph `G`, so the same kernel body
+/// serves both the materialized CSR [`Graph`] and the arithmetic
+/// [`ImplicitGraph`] families with zero dynamic dispatch either way.
+/// Every `TypedState<Graph>` implementor automatically implements
+/// [`ProcessState`] through a blanket impl that instantiates the same
+/// `step` with `R = dyn Rng` — one body, two dispatch styles, so the two
+/// routes cannot drift apart.
+pub trait TypedState<G: ImplicitGraph + ?Sized = Graph>: StateView {
+    /// Advance one round. Must draw from `rng` exactly as the dyn route
+    /// does (it is the same code, instantiated twice).
+    fn step<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R);
+
+    /// Advance one round on the fast path. Must consume the same RNG
+    /// stream and produce the same occupied *set* as [`TypedState::step`],
+    /// but may skip materializing the [`StateView::occupied`] slice
+    /// (leaving it stale) when the state exposes a
+    /// [`StateView::frontier`] — the typed drivers read the frontier and
+    /// [`StateView::support_size`] instead. Defaults to `step`.
+    fn step_fast<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R) {
+        self.step(g, rng)
     }
 
     /// Advance one round on the fast path, drawing neighbors through
@@ -155,17 +178,9 @@ pub trait TypedState {
     /// every [`NeighborDraw`] impl is stream-compatible, so the default
     /// simply ignores `draw`; kernels whose inner loop is dominated by
     /// neighbor draws override this to route them through the table.
-    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+    fn step_sampled<D: NeighborDraw<G>, R: Rng + ?Sized>(&mut self, g: &G, draw: &D, rng: &mut R) {
         let _ = draw;
         self.step_fast(g, rng)
-    }
-
-    /// The hybrid sparse/dense frontier describing the occupied set, when
-    /// the process maintains one (set-valued processes: cobra, SIS).
-    /// Drivers use it for word-parallel coverage union and O(1)/O(log s)
-    /// hit tests; `None` falls back to the [`TypedState::occupied`] slice.
-    fn frontier(&self) -> Option<&crate::frontier::Frontier> {
-        None
     }
 }
 
@@ -183,20 +198,21 @@ pub trait TypedState {
 /// (slice bounds, table slot, threshold) is hoisted out of the draw loop
 /// for every strategy — including loops whose draws interleave with other
 /// randomness (SIS's per-contact transmission coins).
-pub trait NeighborDraw {
+pub trait NeighborDraw<G: ?Sized = Graph> {
     /// The per-vertex resolved drawer.
     type Bound<'a>: BoundDraw
     where
-        Self: 'a;
+        Self: 'a,
+        G: 'a;
 
     /// Resolve the per-vertex draw state for `v` once. Panics if `v` is
     /// isolated.
-    fn bind<'a>(&'a self, g: &'a Graph, v: Vertex) -> Self::Bound<'a>;
+    fn bind<'a>(&'a self, g: &'a G, v: Vertex) -> Self::Bound<'a>;
 
     /// Draw one uniformly random neighbor of `v`. Panics if `v` is
     /// isolated.
     #[inline]
-    fn draw_one<R: Rng + ?Sized>(&self, g: &Graph, v: Vertex, rng: &mut R) -> Vertex {
+    fn draw_one<R: Rng + ?Sized>(&self, g: &G, v: Vertex, rng: &mut R) -> Vertex {
         self.bind(g, v).draw(rng)
     }
 
@@ -205,7 +221,7 @@ pub trait NeighborDraw {
     #[inline]
     fn draw_many<R: Rng + ?Sized>(
         &self,
-        g: &Graph,
+        g: &G,
         v: Vertex,
         k: u32,
         rng: &mut R,
@@ -273,20 +289,60 @@ impl BoundDraw for cobra_graph::sampler::BoundSample<'_> {
     }
 }
 
+/// The [`NeighborDraw`] for arithmetic graphs: resolve the degree per
+/// vertex through the [`ImplicitGraph`] trait, then index-address each
+/// draw with `neighbor(v, i)` — no adjacency slice exists to borrow.
+/// Draws with [`sample_index`] (lazy rejection threshold), so for
+/// `G = Graph` this consumes the identical RNG stream as [`DrawOnTheFly`]
+/// and [`cobra_graph::NeighborSampler`], and resolves identical vertices
+/// (the implicit families enumerate neighbors in CSR order).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ImplicitDraw;
+
+/// [`ImplicitDraw`] bound to one vertex: the graph handle, the vertex, and
+/// its degree, hoisted out of the draw loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicitBound<'a, G: ?Sized> {
+    g: &'a G,
+    v: Vertex,
+    degree: usize,
+}
+
+impl<G: ImplicitGraph + ?Sized> NeighborDraw<G> for ImplicitDraw {
+    type Bound<'a>
+        = ImplicitBound<'a, G>
+    where
+        G: 'a;
+
+    #[inline]
+    fn bind<'a>(&'a self, g: &'a G, v: Vertex) -> ImplicitBound<'a, G> {
+        let degree = g.degree(v);
+        assert!(degree > 0, "vertex {v} has no neighbors");
+        ImplicitBound { g, v, degree }
+    }
+}
+
+impl<G: ImplicitGraph + ?Sized> BoundDraw for ImplicitBound<'_, G> {
+    #[inline]
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Vertex {
+        self.g.neighbor(self.v, sample_index(self.degree, rng))
+    }
+}
+
 /// Every typed state is usable through the dyn API: the blanket impl
 /// instantiates the generic step with `R = dyn Rng`, so boxed and unboxed
 /// runs execute the same instructions modulo dispatch.
-impl<T: TypedState> ProcessState for T {
+impl<T: TypedState<Graph>> ProcessState for T {
     fn step(&mut self, g: &Graph, rng: &mut dyn Rng) {
         TypedState::step(self, g, rng)
     }
 
     fn occupied(&self) -> &[Vertex] {
-        TypedState::occupied(self)
+        StateView::occupied(self)
     }
 
     fn support_size(&self) -> usize {
-        TypedState::support_size(self)
+        StateView::support_size(self)
     }
 }
 

@@ -232,7 +232,9 @@ impl TypedState for ScheduledState {
     fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
         self.advance::<false, D, R>(g, draw, rng);
     }
+}
 
+impl crate::process::StateView for ScheduledState {
     fn occupied(&self) -> &[Vertex] {
         &self.occ
     }

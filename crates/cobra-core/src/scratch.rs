@@ -23,8 +23,8 @@
 //! the amortized setup cost per trial is ~nothing.
 
 use crate::frontier::CoverageMask;
-use crate::process::{TypedProcess, TypedState};
-use cobra_graph::{Graph, Vertex};
+use crate::process::TypedProcess;
+use cobra_graph::{ImplicitGraph, Vertex};
 
 /// Reusable state for a stream of trials of one process type on one graph
 /// (a different graph — e.g. the next sweep cell — triggers a one-time
@@ -40,11 +40,11 @@ pub struct TrialScratch<S> {
     pub(crate) trajectory: Vec<usize>,
 }
 
-impl<S: TypedState> TrialScratch<S> {
-    /// Scratch sized for `g`. The process state itself is created lazily
-    /// on the first trial (the driver knows the process, this constructor
-    /// does not need to).
-    pub fn new(g: &Graph) -> Self {
+impl<S> TrialScratch<S> {
+    /// Scratch sized for `g` (CSR or implicit). The process state itself
+    /// is created lazily on the first trial (the driver knows the
+    /// process, this constructor does not need to).
+    pub fn new<G: ImplicitGraph + ?Sized>(g: &G) -> Self {
         TrialScratch {
             state: None,
             covered: CoverageMask::new(g.num_vertices()),
@@ -62,9 +62,10 @@ impl<S: TypedState> TrialScratch<S> {
     /// (or lazily spawn) the state, epoch-reset the mask, clear the
     /// trajectory buffer. Returns the ready state; everything is O(dirty)
     /// and allocation-free once warm.
-    pub(crate) fn prepare<'a, P>(&'a mut self, g: &Graph, process: &P, start: Vertex) -> &'a mut S
+    pub(crate) fn prepare<'a, G, P>(&'a mut self, g: &G, process: &P, start: Vertex) -> &'a mut S
     where
-        P: TypedProcess<State = S>,
+        G: ImplicitGraph + ?Sized,
+        P: TypedProcess<G, State = S>,
     {
         if self.covered.capacity() != g.num_vertices() {
             self.covered = CoverageMask::new(g.num_vertices());
@@ -84,6 +85,7 @@ impl<S: TypedState> TrialScratch<S> {
 mod tests {
     use super::*;
     use crate::cobra::CobraWalk;
+    use crate::process::StateView;
     use cobra_graph::generators::classic;
 
     #[test]

@@ -5,9 +5,10 @@
 //! speedup measures against this process.
 
 use crate::process::{
-    bernoulli, DrawOnTheFly, NeighborDraw, Process, ProcessState, TypedProcess, TypedState,
+    bernoulli, ImplicitDraw, NeighborDraw, Process, ProcessState, StateView, TypedProcess,
+    TypedState,
 };
-use cobra_graph::{Graph, Vertex};
+use cobra_graph::{Graph, ImplicitGraph, Vertex};
 use rand::Rng;
 
 /// Specification of a simple random walk, optionally lazy.
@@ -58,10 +59,10 @@ impl Process for SimpleWalk {
     }
 }
 
-impl TypedProcess for SimpleWalk {
+impl<G: ImplicitGraph + ?Sized> TypedProcess<G> for SimpleWalk {
     type State = SimpleState;
 
-    fn spawn_typed(&self, g: &Graph, start: Vertex) -> SimpleState {
+    fn spawn_typed(&self, g: &G, start: Vertex) -> SimpleState {
         assert!((start as usize) < g.num_vertices(), "start vertex in range");
         SimpleState {
             laziness: self.laziness,
@@ -84,7 +85,12 @@ pub struct SimpleState {
 
 impl SimpleState {
     #[inline]
-    fn advance<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
+    fn advance<G: ?Sized, D: NeighborDraw<G>, R: Rng + ?Sized>(
+        &mut self,
+        g: &G,
+        draw: &D,
+        rng: &mut R,
+    ) {
         if self.laziness > 0.0 && bernoulli(self.laziness, rng) {
             return;
         }
@@ -92,17 +98,19 @@ impl SimpleState {
     }
 }
 
-impl TypedState for SimpleState {
-    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) {
-        self.advance(g, &DrawOnTheFly, rng);
-    }
-
-    fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
-        self.advance(g, draw, rng);
-    }
-
+impl StateView for SimpleState {
     fn occupied(&self) -> &[Vertex] {
         &self.pos
+    }
+}
+
+impl<G: ImplicitGraph + ?Sized> TypedState<G> for SimpleState {
+    fn step<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R) {
+        self.advance(g, &ImplicitDraw, rng);
+    }
+
+    fn step_sampled<D: NeighborDraw<G>, R: Rng + ?Sized>(&mut self, g: &G, draw: &D, rng: &mut R) {
+        self.advance(g, draw, rng);
     }
 }
 

@@ -154,7 +154,9 @@ impl TypedState for SisState {
     fn step_sampled<D: NeighborDraw, R: Rng + ?Sized>(&mut self, g: &Graph, draw: &D, rng: &mut R) {
         self.advance::<false, D, R>(g, draw, rng);
     }
+}
 
+impl crate::process::StateView for SisState {
     fn occupied(&self) -> &[Vertex] {
         &self.occ
     }

@@ -234,7 +234,9 @@ impl TypedState for WaltState {
             }
         }
     }
+}
 
+impl crate::process::StateView for WaltState {
     fn occupied(&self) -> &[Vertex] {
         &self.positions
     }

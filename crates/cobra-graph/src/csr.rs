@@ -50,11 +50,7 @@ impl Graph {
             });
         }
         let n = offsets.len() - 1;
-        if n > u32::MAX as usize {
-            return Err(GraphError::TooManyVertices {
-                requested: n as u64,
-            });
-        }
+        crate::error::check_vertex_count(n as u64)?;
         for &u in &neighbors {
             if (u as usize) >= n {
                 return Err(GraphError::VertexOutOfRange {
@@ -114,9 +110,11 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// Iterator over all vertices `0..n`.
+    /// Iterator over all vertices `0..n`. Counts in `u64` so the
+    /// boundary graph on `n = 2³²` vertices (max id `u32::MAX`) yields
+    /// every id instead of truncating the cast to an empty range.
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        (0..self.num_vertices() as u32).map(|v| v as Vertex)
+        (0..self.num_vertices() as u64).map(|v| v as Vertex)
     }
 
     /// Iterator over each undirected edge exactly once, as `(u, v)` with

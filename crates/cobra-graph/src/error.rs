@@ -82,6 +82,24 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Validate a requested vertex count against the `u32` id space.
+///
+/// Vertex ids are [`crate::Vertex`] (`u32`), so a graph may hold up to
+/// `2³²` vertices — ids `0 ..= u32::MAX`. This is the single shared guard
+/// every generator (and the CSR constructor) routes through; it replaces
+/// five hand-rolled `n > u32::MAX` copies that each rejected the
+/// representable boundary `n = 2³²` off by one. Counts strictly beyond
+/// `2³²` get a consistent [`GraphError::TooManyVertices`].
+#[inline]
+pub fn check_vertex_count(requested: u64) -> Result<()> {
+    const MAX_VERTICES: u64 = u32::MAX as u64 + 1; // ids 0..=u32::MAX
+    if requested > MAX_VERTICES {
+        Err(GraphError::TooManyVertices { requested })
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +134,22 @@ mod tests {
             attempts: 7,
         };
         assert!(e.to_string().contains("7"));
+    }
+
+    #[test]
+    fn vertex_count_boundary_is_inclusive() {
+        // The representable boundary: n = 2³² vertices means the maximum
+        // id is exactly u32::MAX — accepted. One past that is rejected.
+        assert!(check_vertex_count(0).is_ok());
+        assert!(check_vertex_count(u32::MAX as u64).is_ok());
+        assert!(check_vertex_count(u32::MAX as u64 + 1).is_ok());
+        assert_eq!(
+            check_vertex_count(u32::MAX as u64 + 2),
+            Err(GraphError::TooManyVertices {
+                requested: u32::MAX as u64 + 2
+            })
+        );
+        assert!(check_vertex_count(u64::MAX).is_err());
     }
 
     #[test]

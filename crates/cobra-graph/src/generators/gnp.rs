@@ -20,11 +20,7 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
             reason: format!("edge probability p = {p} must be in [0, 1]"),
         });
     }
-    if n > u32::MAX as usize {
-        return Err(GraphError::TooManyVertices {
-            requested: n as u64,
-        });
-    }
+    crate::error::check_vertex_count(n as u64)?;
     let mut b = GraphBuilder::new(n);
     if p <= 0.0 || n < 2 {
         return b.build();

@@ -34,9 +34,7 @@ impl GridShape {
         for &p in &points {
             total = total.saturating_mul(p as u64);
         }
-        if total > u32::MAX as u64 {
-            return Err(GraphError::TooManyVertices { requested: total });
-        }
+        crate::error::check_vertex_count(total)?;
         let d = points.len();
         let mut strides = vec![1usize; d];
         for i in (0..d - 1).rev() {
@@ -58,6 +56,12 @@ impl GridShape {
     /// Number of points (extent + 1) in dimension `i`.
     pub fn points_in_dim(&self, i: usize) -> usize {
         self.points[i]
+    }
+
+    /// Row-major stride of dimension `i`: moving one point along dimension
+    /// `i` changes the vertex id by exactly this amount.
+    pub fn stride_in_dim(&self, i: usize) -> usize {
+        self.strides[i]
     }
 
     /// Map coordinates to a vertex id. Panics if out of range in debug.

@@ -44,11 +44,7 @@ pub fn powerlaw_weights(n: usize, beta: f64, avg_degree: f64) -> Result<Vec<f64>
 /// exact ratio. Expected cost `O(n + m)`.
 pub fn chung_lu_from_weights<R: Rng>(weights: &[f64], rng: &mut R) -> Result<Graph> {
     let n = weights.len();
-    if n > u32::MAX as usize {
-        return Err(GraphError::TooManyVertices {
-            requested: n as u64,
-        });
-    }
+    crate::error::check_vertex_count(n as u64)?;
     if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
         return Err(GraphError::InvalidParameter {
             reason: "weights must be non-negative and finite".into(),

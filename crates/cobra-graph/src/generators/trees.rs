@@ -45,9 +45,7 @@ pub fn kary_tree(k: usize, depth: u32) -> Result<Graph> {
         });
     }
     let n64 = kary_tree_size(k, depth);
-    if n64 > u32::MAX as u64 {
-        return Err(GraphError::TooManyVertices { requested: n64 });
-    }
+    crate::error::check_vertex_count(n64)?;
     let n = n64 as usize;
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for v in 0..n {

@@ -1,0 +1,557 @@
+//! Implicit (arithmetic) graph families — adjacency computed, never stored.
+//!
+//! The paper's structured families (§3 grids, hypercubes, trees; §4's
+//! regular examples) all have closed-form adjacency: the `i`-th neighbor of
+//! vertex `v` is an arithmetic function of `(v, i)`. Materializing them as
+//! CSR costs `Θ(Σ deg)` memory — 14.5 GB for the 27-dimensional Boolean
+//! hypercube — while the walk kernels only ever ask two questions per
+//! draw: `degree(v)` and `neighbor(v, i)`. [`ImplicitGraph`] abstracts
+//! exactly those two questions (plus the vertex count), so the typed walk
+//! engine in `cobra-core` can run on either representation through one
+//! generic seam.
+//!
+//! **Order contract.** Every implementation enumerates neighbors in
+//! *strictly ascending vertex order*, matching the sorted-CSR invariant of
+//! [`Graph`]. This is what makes the CSR and implicit routes bit-for-bit
+//! identical on a shared seed: the `i`-th draw resolves to the same vertex
+//! whichever representation serves it (pinned per family by the unit tests
+//! here and end-to-end by `tests/engine_equivalence.rs`).
+
+use crate::csr::{Graph, Vertex};
+use crate::error::{GraphError, Result};
+use crate::generators::grid::GridShape;
+use crate::generators::trees::kary_tree_size;
+
+/// A graph whose adjacency is computed on demand instead of stored.
+///
+/// Implementations must describe a simple undirected graph on the dense id
+/// space `0..num_vertices()` and must enumerate each vertex's neighbors in
+/// strictly ascending order (the CSR order), so that index-addressed
+/// neighbor draws agree bit-for-bit with the materialized representation.
+///
+/// `Sync` is required so the Monte-Carlo engine can share one instance
+/// across rayon workers, exactly as it shares a [`Graph`].
+pub trait ImplicitGraph: Sync {
+    /// Number of vertices `n`.
+    fn num_vertices(&self) -> usize;
+
+    /// Degree of vertex `v`.
+    fn degree(&self, v: Vertex) -> usize;
+
+    /// The `i`-th neighbor of `v` in ascending vertex order,
+    /// `i < degree(v)`.
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex;
+}
+
+/// A materialized CSR graph is trivially an implicit graph: the two
+/// accessors are the same two loads the walk kernels already do.
+impl ImplicitGraph for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        Graph::neighbor(self, v, i)
+    }
+}
+
+/// References delegate, so drivers can hold `&G` without re-wrapping.
+impl<T: ImplicitGraph + ?Sized> ImplicitGraph for &T {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        (**self).degree(v)
+    }
+
+    #[inline]
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        (**self).neighbor(v, i)
+    }
+}
+
+/// The paper's `[0, extents[0]] × … × [0, extents[d-1]]` grid (§3), with
+/// adjacency computed from the mixed-radix coordinates.
+///
+/// Neighbor order: the "minus" moves in dimension order `0..d` come first
+/// (strides decrease with the dimension index, so subtracting them yields
+/// ascending ids), then the "plus" moves in dimension order `d-1..0` —
+/// exactly the sorted order the CSR builder produces.
+#[derive(Clone, Debug)]
+pub struct ImplicitGrid {
+    shape: GridShape,
+}
+
+impl ImplicitGrid {
+    /// The grid `[0, extents[i]]` per dimension; same validation as the
+    /// materialized [`crate::generators::grid::try_grid`].
+    pub fn new(extents: &[usize]) -> Result<Self> {
+        Ok(ImplicitGrid {
+            shape: GridShape::new(extents)?,
+        })
+    }
+
+    /// The coordinate addressing of this grid.
+    pub fn shape(&self) -> &GridShape {
+        &self.shape
+    }
+}
+
+impl ImplicitGraph for ImplicitGrid {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.shape.num_vertices()
+    }
+
+    fn degree(&self, v: Vertex) -> usize {
+        let vu = v as usize;
+        let mut deg = 0;
+        for dim in 0..self.shape.dims() {
+            let pts = self.shape.points_in_dim(dim);
+            let c = (vu / self.shape.stride_in_dim(dim)) % pts;
+            deg += (c > 0) as usize + (c + 1 < pts) as usize;
+        }
+        deg
+    }
+
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        let vu = v as usize;
+        let d = self.shape.dims();
+        let mut k = i;
+        for dim in 0..d {
+            let s = self.shape.stride_in_dim(dim);
+            if !(vu / s).is_multiple_of(self.shape.points_in_dim(dim)) {
+                if k == 0 {
+                    return (vu - s) as Vertex;
+                }
+                k -= 1;
+            }
+        }
+        for dim in (0..d).rev() {
+            let s = self.shape.stride_in_dim(dim);
+            let pts = self.shape.points_in_dim(dim);
+            if (vu / s) % pts + 1 < pts {
+                if k == 0 {
+                    return (vu + s) as Vertex;
+                }
+                k -= 1;
+            }
+        }
+        panic!("neighbor index {i} out of range for grid vertex {v}");
+    }
+}
+
+/// Dimension cap for [`ImplicitTorus`], sized so neighbor candidates fit a
+/// stack array (`2 × 16` ids). Tori beyond 16 dimensions are outside every
+/// experiment in the reproduction.
+pub const MAX_TORUS_DIMS: usize = 16;
+
+/// The wrap-around grid (torus) with `extents[i] + 1` points per dimension,
+/// `2d`-regular; the paper's convenient `d`-regular family for Theorem 8.
+///
+/// Wrap-around breaks the stride monotonicity that lets the plain grid
+/// enumerate in order directly, so each query materializes the `2d`
+/// candidate ids into a stack array and sorts it — `d ≤ 16` keeps that
+/// array at 32 words.
+#[derive(Clone, Debug)]
+pub struct ImplicitTorus {
+    shape: GridShape,
+}
+
+impl ImplicitTorus {
+    /// The torus over `[0, extents[i]]` per dimension. Requires at least
+    /// 3 points per dimension (as [`crate::generators::grid::try_torus`]:
+    /// wrap edges would duplicate grid edges otherwise, and with ≥ 3 the
+    /// degree is exactly `2d`) and at most [`MAX_TORUS_DIMS`] dimensions.
+    pub fn new(extents: &[usize]) -> Result<Self> {
+        let shape = GridShape::new(extents)?;
+        if shape.dims() > MAX_TORUS_DIMS {
+            return Err(GraphError::InvalidParameter {
+                reason: format!(
+                    "implicit torus supports at most {MAX_TORUS_DIMS} dimensions, got {}",
+                    shape.dims()
+                ),
+            });
+        }
+        for i in 0..shape.dims() {
+            if shape.points_in_dim(i) < 3 {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!(
+                        "torus dimension {i} has {} points; need >= 3",
+                        shape.points_in_dim(i)
+                    ),
+                });
+            }
+        }
+        Ok(ImplicitTorus { shape })
+    }
+
+    /// The coordinate addressing of this torus.
+    pub fn shape(&self) -> &GridShape {
+        &self.shape
+    }
+
+    #[inline]
+    fn candidates(&self, v: Vertex, out: &mut [Vertex]) -> usize {
+        let vu = v as usize;
+        let d = self.shape.dims();
+        for dim in 0..d {
+            let s = self.shape.stride_in_dim(dim);
+            let pts = self.shape.points_in_dim(dim);
+            let c = (vu / s) % pts;
+            let down = if c == 0 { pts - 1 } else { c - 1 };
+            let up = if c + 1 == pts { 0 } else { c + 1 };
+            let base = vu - c * s;
+            out[2 * dim] = (base + down * s) as Vertex;
+            out[2 * dim + 1] = (base + up * s) as Vertex;
+        }
+        2 * d
+    }
+}
+
+impl ImplicitGraph for ImplicitTorus {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.shape.num_vertices()
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        2 * self.shape.dims()
+    }
+
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        let mut cand = [0 as Vertex; 2 * MAX_TORUS_DIMS];
+        let len = self.candidates(v, &mut cand);
+        let cand = &mut cand[..len];
+        cand.sort_unstable();
+        cand[i]
+    }
+}
+
+/// The Boolean hypercube `Q_dim` on `2^dim` vertices — the paper's §3
+/// headline expander-adjacent family, and (as the grid `[0,1]^dim`) the
+/// shape of the large-scale implicit cover runs.
+///
+/// Unlike the materialized [`crate::generators::hypercube::hypercube`]
+/// (which caps `dim ≤ 30` because CSR adjacency is `dim·2^dim` words),
+/// this form allows `dim` up to 32 — `dim = 32` is the `n = 2³²` boundary
+/// graph whose max id is exactly `u32::MAX`.
+///
+/// Neighbor order: flipping a *set* bit decreases the id, flipping an
+/// *unset* bit increases it, so ascending order is "set bits from highest
+/// to lowest, then unset bits from lowest to highest".
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicitHypercube {
+    dim: u32,
+    mask: u64,
+}
+
+impl ImplicitHypercube {
+    /// The hypercube `Q_dim`; `1 ≤ dim ≤ 32`.
+    pub fn new(dim: u32) -> Result<Self> {
+        if dim == 0 || dim > 32 {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("implicit hypercube dimension {dim} must be in 1..=32"),
+            });
+        }
+        Ok(ImplicitHypercube {
+            dim,
+            mask: (1u64 << dim) - 1,
+        })
+    }
+
+    /// The dimension `dim` (`= log₂ n =` the regular degree).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+/// Lowest set bit of `x` after clearing the `skip` lowest set bits.
+/// `x` must have more than `skip` set bits.
+#[inline]
+fn select_low_bit(mut x: u64, skip: usize) -> u64 {
+    for _ in 0..skip {
+        x &= x - 1;
+    }
+    x & x.wrapping_neg()
+}
+
+impl ImplicitGraph for ImplicitHypercube {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        1usize << self.dim
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        self.dim as usize
+    }
+
+    #[inline]
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        debug_assert!(i < self.dim as usize);
+        let vv = v as u64;
+        let set = vv.count_ones() as usize;
+        if i < set {
+            // i-th neighbor below v: flip the i-th *highest* set bit,
+            // i.e. the (set-1-i)-th lowest.
+            (vv ^ select_low_bit(vv, set - 1 - i)) as Vertex
+        } else {
+            // Then neighbors above v: flip unset bits from the lowest up.
+            (vv | select_low_bit(!vv & self.mask, i - set)) as Vertex
+        }
+    }
+}
+
+/// The complete graph `K_n` — the degenerate "everything is one hop away"
+/// family; useful as a closed-form oracle and for the `n = 2³²` id-space
+/// boundary without any per-vertex storage.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicitComplete {
+    n: usize,
+}
+
+impl ImplicitComplete {
+    /// `K_n` for `n ≥ 2` (as [`crate::generators::classic::complete`]),
+    /// accepting the full `u32` id space up to `n = 2³²`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("complete graph needs n >= 2, got {n}"),
+            });
+        }
+        crate::error::check_vertex_count(n as u64)?;
+        Ok(ImplicitComplete { n })
+    }
+}
+
+impl ImplicitGraph for ImplicitComplete {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn degree(&self, _v: Vertex) -> usize {
+        self.n - 1
+    }
+
+    #[inline]
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        // Everyone but v, in ascending order: 0..v then v+1..n.
+        if i < v as usize {
+            i as Vertex
+        } else {
+            (i + 1) as Vertex
+        }
+    }
+}
+
+/// The complete `k`-ary tree in level order (root 0, children of `v` at
+/// `k·v + 1 ..= k·v + k`), matching
+/// [`crate::generators::trees::kary_tree`]. The §3 remark's
+/// diameter-proportional cover family.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicitKaryTree {
+    k: u64,
+    n: u64,
+}
+
+impl ImplicitKaryTree {
+    /// The complete `k`-ary tree of the given `depth` (`k ≥ 1`); same
+    /// shape and numbering as the materialized generator.
+    pub fn new(k: usize, depth: u32) -> Result<Self> {
+        if k == 0 {
+            return Err(GraphError::InvalidParameter {
+                reason: "k-ary tree needs k >= 1".into(),
+            });
+        }
+        let n = kary_tree_size(k, depth);
+        crate::error::check_vertex_count(n)?;
+        Ok(ImplicitKaryTree { k: k as u64, n })
+    }
+
+    /// Number of children of `v` (`k` for internal vertices, fewer on the
+    /// boundary level, 0 for leaves).
+    #[inline]
+    fn child_count(&self, v: Vertex) -> usize {
+        let first = v as u64 * self.k + 1;
+        if first >= self.n {
+            0
+        } else {
+            (self.n - first).min(self.k) as usize
+        }
+    }
+}
+
+impl ImplicitGraph for ImplicitKaryTree {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    #[inline]
+    fn degree(&self, v: Vertex) -> usize {
+        (v != 0) as usize + self.child_count(v)
+    }
+
+    #[inline]
+    fn neighbor(&self, v: Vertex, i: usize) -> Vertex {
+        // Parent first (its id is always below v), then children ascending.
+        if v != 0 && i == 0 {
+            return ((v as u64 - 1) / self.k) as Vertex;
+        }
+        let child = i - (v != 0) as usize;
+        debug_assert!(child < self.child_count(v));
+        (v as u64 * self.k + 1 + child as u64) as Vertex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, grid, hypercube, trees};
+
+    /// Assert an implicit family agrees with its CSR counterpart on vertex
+    /// count, every degree, and every neighbor *in order* — the contract
+    /// that makes the two engine routes bit-for-bit identical.
+    fn assert_matches_csr<G: ImplicitGraph>(implicit: &G, csr: &Graph, label: &str) {
+        assert_eq!(implicit.num_vertices(), csr.num_vertices(), "{label}: n");
+        for v in csr.vertices() {
+            let deg = csr.degree(v);
+            assert_eq!(implicit.degree(v), deg, "{label}: degree({v})");
+            for i in 0..deg {
+                assert_eq!(
+                    implicit.neighbor(v, i),
+                    csr.neighbor(v, i),
+                    "{label}: neighbor({v}, {i})"
+                );
+            }
+        }
+    }
+
+    /// Neighbor lists must be strictly ascending even where no CSR
+    /// counterpart exists to compare against.
+    fn assert_ascending<G: ImplicitGraph>(g: &G, v: Vertex, label: &str) {
+        let deg = g.degree(v);
+        for i in 1..deg {
+            assert!(
+                g.neighbor(v, i - 1) < g.neighbor(v, i),
+                "{label}: neighbors of {v} not ascending at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_matches_csr() {
+        for extents in [&[9][..], &[2, 2], &[7, 7], &[3, 4, 5], &[1, 1, 1, 1]] {
+            let implicit = ImplicitGrid::new(extents).unwrap();
+            let csr = grid::try_grid(extents).unwrap();
+            assert_matches_csr(&implicit, &csr, &format!("grid {extents:?}"));
+        }
+    }
+
+    #[test]
+    fn torus_matches_csr() {
+        for extents in [&[4][..], &[47], &[2, 2], &[4, 3, 2]] {
+            let implicit = ImplicitTorus::new(extents).unwrap();
+            let csr = grid::try_torus(extents).unwrap();
+            assert_matches_csr(&implicit, &csr, &format!("torus {extents:?}"));
+        }
+    }
+
+    #[test]
+    fn torus_rejects_what_csr_rejects() {
+        assert!(ImplicitTorus::new(&[1, 3]).is_err());
+        assert!(ImplicitTorus::new(&[]).is_err());
+        assert!(ImplicitTorus::new(&[2; MAX_TORUS_DIMS + 1]).is_err());
+    }
+
+    #[test]
+    fn hypercube_matches_csr() {
+        for dim in 1..=6u32 {
+            let implicit = ImplicitHypercube::new(dim).unwrap();
+            let csr = hypercube::hypercube(dim);
+            assert_matches_csr(&implicit, &csr, &format!("Q{dim}"));
+        }
+    }
+
+    #[test]
+    fn hypercube_accepts_the_id_space_boundary() {
+        // dim = 32 is the n = 2³² graph: max id exactly u32::MAX. The CSR
+        // route cannot build it; the implicit route must address it fully.
+        let q = ImplicitHypercube::new(32).unwrap();
+        assert_eq!(q.num_vertices(), 1usize << 32);
+        assert_eq!(q.degree(0), 32);
+        assert_eq!(q.neighbor(0, 0), 1);
+        assert_eq!(q.neighbor(0, 31), 1 << 31);
+        // The all-ones vertex: every neighbor clears one bit, descending
+        // magnitude as the flipped bit gets lower — ascending id order.
+        let top = u32::MAX;
+        assert_eq!(q.neighbor(top, 0), !(1u32 << 31));
+        assert_eq!(q.neighbor(top, 31), top - 1);
+        assert_ascending(&q, top, "Q32");
+        assert_ascending(&q, 0x8000_0001, "Q32");
+        assert!(ImplicitHypercube::new(0).is_err());
+        assert!(ImplicitHypercube::new(33).is_err());
+    }
+
+    #[test]
+    fn complete_matches_csr() {
+        for n in [2usize, 3, 5, 8] {
+            let implicit = ImplicitComplete::new(n).unwrap();
+            let csr = classic::complete(n).unwrap();
+            assert_matches_csr(&implicit, &csr, &format!("K{n}"));
+        }
+        assert!(ImplicitComplete::new(1).is_err());
+    }
+
+    #[test]
+    fn complete_at_the_id_space_boundary() {
+        let n = u32::MAX as usize + 1;
+        let k = ImplicitComplete::new(n).unwrap();
+        assert_eq!(k.num_vertices(), n);
+        assert_eq!(k.degree(0), n - 1);
+        // Neighbors of 0 are 1..=u32::MAX; of u32::MAX are 0..u32::MAX.
+        assert_eq!(k.neighbor(0, n - 2), u32::MAX);
+        assert_eq!(k.neighbor(u32::MAX, 0), 0);
+        assert_eq!(k.neighbor(u32::MAX, n - 2), u32::MAX - 1);
+        assert!(ImplicitComplete::new(n + 1).is_err());
+    }
+
+    #[test]
+    fn kary_tree_matches_csr() {
+        for (k, depth) in [(1usize, 4u32), (2, 3), (3, 2), (5, 1), (3, 0)] {
+            let implicit = ImplicitKaryTree::new(k, depth).unwrap();
+            let csr = trees::kary_tree(k, depth).unwrap();
+            assert_matches_csr(&implicit, &csr, &format!("{k}-ary depth {depth}"));
+        }
+        assert!(ImplicitKaryTree::new(0, 2).is_err());
+    }
+
+    #[test]
+    fn csr_graph_is_its_own_implicit_form() {
+        let g = grid::grid(&[3, 3]);
+        assert_matches_csr(&&g, &g, "CSR-as-implicit");
+    }
+
+    #[test]
+    fn reference_delegation() {
+        let q = ImplicitHypercube::new(3).unwrap();
+        let by_ref: &ImplicitHypercube = &q;
+        assert_eq!(ImplicitGraph::num_vertices(&by_ref), 8);
+        assert_eq!(ImplicitGraph::degree(&by_ref, 5), 3);
+        assert_eq!(ImplicitGraph::neighbor(&by_ref, 0, 2), 4);
+    }
+}

@@ -47,11 +47,16 @@ pub mod builder;
 mod csr;
 mod error;
 pub mod generators;
+pub mod implicit;
 pub mod io;
 pub mod metrics;
 pub mod sampler;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NeighborIter, Vertex};
-pub use error::{GraphError, Result};
+pub use error::{check_vertex_count, GraphError, Result};
+pub use implicit::{
+    ImplicitComplete, ImplicitGraph, ImplicitGrid, ImplicitHypercube, ImplicitKaryTree,
+    ImplicitTorus,
+};
 pub use sampler::{BoundSample, NeighborSampler};

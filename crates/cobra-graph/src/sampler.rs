@@ -53,10 +53,15 @@ enum Table {
     PerVertex(Vec<Slot>),
 }
 
-/// Lemire rejection threshold for span `d` (callers guarantee the span of
-/// an actual draw is nonzero; isolated vertices get a placeholder 0).
+/// Lemire rejection threshold `(2⁶⁴ − d) mod d` for span `d` (callers
+/// guarantee the span of an actual draw is nonzero; isolated vertices get
+/// a placeholder 0). Public so generic draw strategies outside this crate
+/// (e.g. implicit-graph draws in `cobra-core`) can precompute the exact
+/// threshold this crate's table stores — the proptests below pin it
+/// against the lazy recompute-per-draw route at the boundary degrees
+/// `d = 1`, `d = 2`, and `d` near `u32::MAX`.
 #[inline]
-fn threshold_for(d: u32) -> u32 {
+pub fn threshold_for(d: u32) -> u32 {
     if d == 0 {
         0
     } else {
@@ -71,7 +76,7 @@ fn threshold_for(d: u32) -> u32 {
 /// `threshold < span`, that is precisely the condition the lazy variants
 /// reject on.
 #[inline]
-fn lemire_draw<R: Rng + ?Sized>(span: u64, threshold: u64, rng: &mut R) -> usize {
+pub fn lemire_draw<R: Rng + ?Sized>(span: u64, threshold: u64, rng: &mut R) -> usize {
     debug_assert!(span > 0);
     debug_assert_eq!(threshold, span.wrapping_neg() % span);
     let x = rng.next_u64();
@@ -241,6 +246,43 @@ mod tests {
     }
 
     #[test]
+    fn threshold_boundary_degrees() {
+        // d = 1: 2⁶⁴ mod 1 = 0 — a degree-1 draw never rejects.
+        assert_eq!(threshold_for(1), 0);
+        // d = 2: 2⁶⁴ is even, so again no rejection region.
+        assert_eq!(threshold_for(2), 0);
+        // d = 3: 2⁶⁴ ≡ 1 (mod 3).
+        assert_eq!(threshold_for(3), 1);
+        // Powers of two always divide 2⁶⁴ exactly.
+        assert_eq!(threshold_for(1 << 31), 0);
+        // d = u32::MAX: 2³² ≡ 1 (mod 2³²−1) ⇒ 2⁶⁴ ≡ 1. The single-u64
+        // rejection region at the largest representable degree.
+        assert_eq!(threshold_for(u32::MAX), 1);
+        // d = u32::MAX − 1: 2³² ≡ 2 (mod 2³²−2) ⇒ 2⁶⁴ ≡ 4.
+        assert_eq!(threshold_for(u32::MAX - 1), 4);
+    }
+
+    #[test]
+    fn lemire_draw_boundary_degrees_match_reference() {
+        // Eager-threshold draws must consume the identical u64 stream as
+        // the lazy `random_range` route at the degrees where the rejection
+        // arithmetic is most delicate: trivial spans and spans within a
+        // few of the u32 ceiling.
+        for span in [1u64, 2, 3, (1 << 31), u32::MAX as u64 - 1, u32::MAX as u64] {
+            let threshold = threshold_for(span as u32) as u64;
+            let mut a = StdRng::seed_from_u64(span ^ 0xB0A7);
+            let mut b = StdRng::seed_from_u64(span ^ 0xB0A7);
+            for round in 0..500u32 {
+                let eager = lemire_draw(span, threshold, &mut a);
+                let lazy = b.random_range(0u64..span) as usize;
+                assert_eq!(eager, lazy, "span {span} round {round}");
+                assert!(eager < span as usize);
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "span {span}: streams diverged");
+        }
+    }
+
+    #[test]
     fn draws_match_reference_on_shared_seeds() {
         // Same seed, same vertex sequence ⇒ identical draws AND identical
         // RNG positions afterwards (stream compatibility, not just
@@ -348,6 +390,29 @@ mod tests {
                 let v = (i * 17 + rng_seed as usize) % g.num_vertices();
                 let u = sampler.sample(&g, v as Vertex, &mut rng);
                 prop_assert!(g.has_edge(v as Vertex, u), "{v} -> {u} not an edge");
+            }
+        }
+
+        /// Eager (precomputed-threshold) and lazy (recompute-on-demand)
+        /// Lemire rejection stay stream-identical for arbitrary spans,
+        /// including spans drawn from the top of the u32 range where the
+        /// rejection region is a handful of u64s out of 2⁶⁴.
+        #[test]
+        fn lemire_streams_agree_for_arbitrary_spans(
+            small in 1u32..64,
+            huge in (u32::MAX - 64)..u32::MAX,
+            rng_seed in 0u64..1000,
+        ) {
+            for span in [small as u64, huge as u64] {
+                let threshold = threshold_for(span as u32) as u64;
+                let mut a = StdRng::seed_from_u64(rng_seed);
+                let mut b = StdRng::seed_from_u64(rng_seed);
+                for _ in 0..64 {
+                    let eager = lemire_draw(span, threshold, &mut a);
+                    let lazy = b.random_range(0u64..span) as usize;
+                    prop_assert_eq!(eager, lazy);
+                }
+                prop_assert_eq!(a.next_u64(), b.next_u64());
             }
         }
 

@@ -33,7 +33,7 @@ pub use convergence::{run_until_precise, AdaptivePlan, StopRule};
 pub use runner::{
     lane_cover_applies, run_cover_trials, run_cover_trials_adaptive,
     run_cover_trials_adaptive_auto, run_cover_trials_adaptive_lanes, run_cover_trials_auto,
-    run_cover_trials_lanes, run_cover_trials_typed, run_hitting_trials,
+    run_cover_trials_implicit, run_cover_trials_lanes, run_cover_trials_typed, run_hitting_trials,
     run_hitting_trials_adaptive, run_hitting_trials_typed, AdaptiveOutcome, TrialOutcome,
     TrialPlan, LANE_MAX_N,
 };

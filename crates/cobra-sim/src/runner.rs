@@ -8,10 +8,10 @@ use crate::convergence::AdaptivePlan;
 use crate::seeds::SeedSequence;
 use crate::stats::{EmptySummary, Summary};
 use cobra_core::{
-    run_lane_cover, CoverDriver, HittingDriver, LaneScratch, Process, TrialScratch, TypedProcess,
-    LANE_WIDTH,
+    run_lane_cover, CoverDriver, HittingDriver, ImplicitDraw, LaneScratch, Process, TrialScratch,
+    TypedProcess, LANE_WIDTH,
 };
-use cobra_graph::{Graph, NeighborSampler, Vertex};
+use cobra_graph::{Graph, ImplicitGraph, NeighborSampler, Vertex};
 use rayon::prelude::*;
 
 /// How many trials to run and how long each may take.
@@ -143,6 +143,58 @@ pub fn run_cover_trials_typed<P: TypedProcess + Sync>(
     aggregate(times)
 }
 
+/// Cover trials for any [`ImplicitGraph`] family (grid, torus,
+/// hypercube, complete, k-ary tree — or a CSR [`Graph`], which is its
+/// own implicit view): the scratch engine with arithmetic
+/// [`ImplicitDraw`] neighbor draws, so no adjacency, offset array, or
+/// sampler table is ever materialized and the per-cell setup cost is
+/// O(1) in the graph size.
+///
+/// Seeding and draw streams match [`run_cover_trials_typed`] exactly
+/// ([`ImplicitDraw`] and [`NeighborSampler`] are stream-compatible and,
+/// on a CSR graph, vertex-identical), so on `G = Graph` this runner is
+/// **bit-for-bit identical** to the typed runner — pinned by a test
+/// below and by `tests/engine_equivalence.rs` across representations.
+///
+/// This runner never routes to the bit-sliced lane engine: the lane
+/// kernel shares draws through a CSR [`NeighborSampler`] table, which
+/// is exactly the materialization implicit families exist to avoid (see
+/// [`lane_cover_applies`]).
+pub fn run_cover_trials_implicit<G, P>(
+    g: &G,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+) -> TrialOutcome
+where
+    G: ImplicitGraph + ?Sized,
+    P: TypedProcess<G> + Sync,
+{
+    let seq = SeedSequence::new(plan.master_seed);
+    let driver = CoverDriver::new(g);
+    let times: Vec<Option<usize>> = (0..plan.trials)
+        .into_par_iter()
+        .map_init(
+            || TrialScratch::new(g),
+            |scratch, i| {
+                let mut rng = seq.rng_at(i as u64);
+                let res = driver
+                    .run_typed_in(
+                        process,
+                        &ImplicitDraw,
+                        scratch,
+                        start,
+                        plan.max_steps,
+                        &mut rng,
+                    )
+                    .expect("non-empty graph");
+                res.completed.then_some(res.steps)
+            },
+        )
+        .collect();
+    aggregate(times)
+}
+
 /// Measure hitting times `start → target` of `process` over
 /// `plan.trials` independent runs (parallel).
 pub fn run_hitting_trials<P: Process + ?Sized>(
@@ -218,6 +270,16 @@ pub const LANE_MAX_N: usize = 1024;
 /// For adaptive runs pass the rule's `max_trials`: eligibility must not
 /// depend on how many trials end up consumed, or the engine choice
 /// (and with it the RNG stream) would depend on the data.
+///
+/// The lane engine is **CSR-only by construction**: this gate takes
+/// `&Graph` (not a generic [`ImplicitGraph`]) because
+/// [`run_lane_cover`] shares draws through a materialized
+/// [`NeighborSampler`] table. Implicit families must not be squeezed
+/// through a CSR conversion just to reach the lanes — they route
+/// through [`run_cover_trials_implicit`], whose stream stays
+/// bit-compatible with the scratch engine. Keeping the `&Graph`
+/// signature here makes misrouting a compile error rather than a
+/// silent de-implicitization.
 pub fn lane_cover_applies<P: TypedProcess>(g: &Graph, process: &P, trials: usize) -> bool {
     g.num_vertices() <= LANE_MAX_N && trials >= LANE_WIDTH && process.lane_branching().is_some()
 }
@@ -839,6 +901,54 @@ mod tests {
         // Non-lazy simple walk has a lane form; a lazy one does not.
         assert!(lane_cover_applies(&small, &SimpleWalk::new(), 64));
         assert!(!lane_cover_applies(&small, &SimpleWalk::lazy(0.3), 64));
+    }
+
+    #[test]
+    fn implicit_runner_never_takes_the_lane_path() {
+        // Regression for the lane-eligibility seam: a lane-shaped cell
+        // (small n, ≥ 64 trials, lane-capable process) must not pull
+        // implicit-routed runs onto the lane engine — the implicit
+        // runner always drives the scratch stream. On a CSR graph the
+        // two runners are bit-identical, so comparing against
+        // run_cover_trials_typed (NOT the lane/auto engines, whose
+        // per-batch seeding is a different stream) pins the routing.
+        let g = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let plan = TrialPlan::new(96, 100_000, 13);
+        assert!(
+            lane_cover_applies(&g, &cobra, plan.trials),
+            "cell must be lane-shaped for this regression to bite"
+        );
+        let typed = run_cover_trials_typed(&g, &cobra, 0, &plan);
+        let implicit = run_cover_trials_implicit(&g, &cobra, 0, &plan);
+        assert_eq!(implicit.censored, typed.censored);
+        assert_eq!(implicit.summary.count(), typed.summary.count());
+        assert_eq!(implicit.summary.mean(), typed.summary.mean());
+        assert_eq!(implicit.summary.median(), typed.summary.median());
+        assert_eq!(implicit.summary.min(), typed.summary.min());
+        assert_eq!(implicit.summary.max(), typed.summary.max());
+        // And the lane engine on the same plan is a genuinely different
+        // stream — if the implicit runner ever silently rerouted to it,
+        // the equality above would have been vacuous.
+        let lanes = run_cover_trials_lanes(&g, &cobra, 0, &plan);
+        assert_ne!(implicit.summary.mean(), lanes.summary.mean());
+    }
+
+    #[test]
+    fn implicit_runner_accepts_implicit_families() {
+        // The same lane-shaped plan on an actual implicit family (a
+        // 24-cycle as a 1-d torus) runs through the arithmetic path and
+        // produces the same cover-time stream as the CSR cycle, since
+        // both expose identical ascending adjacency.
+        let torus = cobra_graph::ImplicitTorus::new(&[23]).unwrap();
+        let csr = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let plan = TrialPlan::new(96, 100_000, 13);
+        let a = run_cover_trials_implicit(&torus, &cobra, 0, &plan);
+        let b = run_cover_trials_implicit(&csr, &cobra, 0, &plan);
+        assert_eq!(a.summary.count(), b.summary.count());
+        assert_eq!(a.summary.mean(), b.summary.mean());
+        assert_eq!(a.summary.median(), b.summary.median());
     }
 
     #[test]

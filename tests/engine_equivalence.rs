@@ -17,12 +17,15 @@
 //! both cover and hitting measurements, with trajectories recorded so the
 //! per-round support sizes are compared too.
 
-use cobra_repro::graph::generators::{chung_lu, classic, grid};
-use cobra_repro::graph::{Graph, NeighborSampler};
+use cobra_repro::graph::generators::{chung_lu, classic, grid, hypercube, trees};
+use cobra_repro::graph::{
+    Graph, ImplicitComplete, ImplicitGraph, ImplicitGrid, ImplicitHypercube, ImplicitKaryTree,
+    ImplicitTorus, NeighborSampler,
+};
 use cobra_repro::sim::SeedSequence;
 use cobra_repro::walks::{
-    CobraWalk, CoverDriver, HittingDriver, PullGossip, PushGossip, PushPullGossip, SimpleWalk,
-    SisProcess, TrialScratch, TypedProcess, WaltProcess,
+    CobraWalk, CoverDriver, HittingDriver, ImplicitDraw, PullGossip, PushGossip, PushPullGossip,
+    SimpleWalk, SisProcess, TrialScratch, TypedProcess, WaltProcess,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -170,4 +173,155 @@ fn gossip_matches() {
     assert_engine_equivalence(40, &PushGossip);
     assert_engine_equivalence(41, &PullGossip);
     assert_engine_equivalence(42, &PushPullGossip);
+}
+
+/// Assert the CSR representation and an arithmetic [`ImplicitGraph`]
+/// family drive **bit-for-bit identical** runs: same cover results (with
+/// trajectories), same hitting results, on both the fresh typed path and
+/// the scratch path (CSR draws through the [`NeighborSampler`] table,
+/// implicit draws through [`ImplicitDraw`] — stream-compatible by
+/// construction). Any divergence means the implicit family's neighbor
+/// arithmetic disagrees with the materialized adjacency it mirrors.
+fn assert_csr_implicit_equivalence<G, P>(
+    gname: &str,
+    csr: &Graph,
+    implicit: &G,
+    process: &P,
+    cell: u64,
+) where
+    G: ImplicitGraph,
+    P: TypedProcess<Graph> + TypedProcess<G>,
+{
+    assert_eq!(
+        csr.num_vertices(),
+        implicit.num_vertices(),
+        "representations of {gname} disagree on n"
+    );
+    let n = csr.num_vertices();
+    let target = (n - 1) as u32;
+    let sampler = NeighborSampler::new(csr);
+    let mut csr_scratch = TrialScratch::new(csr);
+    let mut imp_scratch = TrialScratch::new(implicit);
+    for seed in cell_seeds(0xC5, cell) {
+        let label = format!("{} on {gname} (seed {seed:#x})", process.name());
+
+        let csr_cover = CoverDriver::new(csr)
+            .record_trajectory()
+            .run_typed(process, 0, MAX_STEPS, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let imp_cover = CoverDriver::new(implicit)
+            .record_trajectory()
+            .run_typed(process, 0, MAX_STEPS, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        assert_eq!(
+            csr_cover, imp_cover,
+            "cover divergence for {label}: csr {csr_cover:?} vs implicit {imp_cover:?}"
+        );
+        let csr_scratch_cover = CoverDriver::new(csr)
+            .run_typed_in(
+                process,
+                &sampler,
+                &mut csr_scratch,
+                0,
+                MAX_STEPS,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        let imp_scratch_cover = CoverDriver::new(implicit)
+            .run_typed_in(
+                process,
+                &ImplicitDraw,
+                &mut imp_scratch,
+                0,
+                MAX_STEPS,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        assert_eq!(
+            csr_scratch_cover, imp_scratch_cover,
+            "scratch cover divergence for {label}"
+        );
+        assert_eq!(
+            csr_cover.steps, csr_scratch_cover.steps,
+            "typed vs scratch divergence for {label}"
+        );
+
+        let csr_hit = HittingDriver::new(csr).run_typed(
+            process,
+            0,
+            target,
+            MAX_STEPS,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let imp_hit = HittingDriver::new(implicit).run_typed(
+            process,
+            0,
+            target,
+            MAX_STEPS,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert_eq!(
+            csr_hit, imp_hit,
+            "hitting divergence for {label}: csr {csr_hit:?} vs implicit {imp_hit:?}"
+        );
+    }
+}
+
+/// Every process the implicit seam carries, on one graph pair.
+fn assert_family_pins<G: ImplicitGraph>(gname: &str, csr: &Graph, implicit: &G) {
+    for (i, k) in [1u32, 2, 3].into_iter().enumerate() {
+        assert_csr_implicit_equivalence(gname, csr, implicit, &CobraWalk::new(k), i as u64);
+    }
+    assert_csr_implicit_equivalence(gname, csr, implicit, &SimpleWalk::new(), 10);
+}
+
+#[test]
+fn implicit_grid_matches_csr() {
+    assert_family_pins(
+        "grid-8x8",
+        &grid::grid(&[7, 7]),
+        &ImplicitGrid::new(&[7, 7]).unwrap(),
+    );
+    assert_family_pins(
+        "grid-3x4x5",
+        &grid::grid(&[2, 3, 4]),
+        &ImplicitGrid::new(&[2, 3, 4]).unwrap(),
+    );
+}
+
+#[test]
+fn implicit_torus_matches_csr_cycle() {
+    // A 1-d torus over {0..47} is exactly the 48-cycle.
+    assert_family_pins(
+        "cycle-48",
+        &classic::cycle(48).unwrap(),
+        &ImplicitTorus::new(&[47]).unwrap(),
+    );
+}
+
+#[test]
+fn implicit_hypercube_matches_csr() {
+    assert_family_pins(
+        "hypercube-6",
+        &hypercube::hypercube(6),
+        &ImplicitHypercube::new(6).unwrap(),
+    );
+}
+
+#[test]
+fn implicit_complete_matches_csr() {
+    assert_family_pins(
+        "complete-24",
+        &classic::complete(24).unwrap(),
+        &ImplicitComplete::new(24).unwrap(),
+    );
+}
+
+#[test]
+fn implicit_kary_tree_matches_csr() {
+    assert_family_pins(
+        "tree-3ary-d4",
+        &trees::kary_tree(3, 4).unwrap(),
+        &ImplicitKaryTree::new(3, 4).unwrap(),
+    );
 }
