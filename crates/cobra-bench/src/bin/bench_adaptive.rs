@@ -278,7 +278,7 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+    cobra_sim::write_atomic_str(std::path::Path::new(&out_path), &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     });

@@ -359,7 +359,7 @@ fn main() {
     }
 
     let json = render_json(mode, &pairs, &giant);
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+    cobra_sim::write_atomic_str(std::path::Path::new(&out_path), &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     });

@@ -46,7 +46,7 @@ fn main() {
         &cfg,
     )
     .with_rule(rule);
-    let mut orch = Orchestrator::new(spec);
+    let mut orch = Orchestrator::for_run(spec, &cfg);
 
     let cobra = CobraWalk::standard();
 

@@ -50,7 +50,7 @@ fn main() {
         "2-cobra cover on [0,n]^d is O(n); simple RW ~n² on d ≤ 2",
         &cfg,
     );
-    let mut orch = Orchestrator::new(spec);
+    let mut orch = Orchestrator::for_run(spec, &cfg);
 
     let cobra = CobraWalk::standard();
     let rw = SimpleWalk::new();

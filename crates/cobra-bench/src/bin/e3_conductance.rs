@@ -52,7 +52,7 @@ fn main() {
         "Theorem 8: cobra cover on d-regular graphs is O(d\u{2074}\u{b7}\u{3a6}\u{207b}\u{b2}\u{b7}log\u{b2}n)",
         &cfg,
     );
-    let mut orch = Orchestrator::new(spec);
+    let mut orch = Orchestrator::for_run(spec, &cfg);
 
     let cobra = CobraWalk::standard();
     let mut cells: Vec<Cell> = Vec::new();

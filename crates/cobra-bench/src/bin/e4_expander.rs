@@ -29,7 +29,7 @@ fn main() {
         "Corollary 9: 2-cobra covers d-regular expanders in O(log\u{b2}n)",
         &cfg,
     );
-    let mut orch = Orchestrator::new(spec);
+    let mut orch = Orchestrator::for_run(spec, &cfg);
 
     let cobra = CobraWalk::standard();
     let ns = cfg.scale(

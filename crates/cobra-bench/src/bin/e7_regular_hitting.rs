@@ -40,7 +40,7 @@ fn main() {
         "Lemma 14 dominance + Theorem 15 hitting exponents + Corollary 17",
         &cfg,
     );
-    let mut orch = Orchestrator::new(spec);
+    let mut orch = Orchestrator::for_run(spec, &cfg);
 
     // The dyn-route biased-walk reference keeps a fixed plan (its
     // controller state is not `TypedProcess`); size it to the adaptive

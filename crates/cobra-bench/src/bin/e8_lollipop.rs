@@ -47,7 +47,7 @@ fn main() {
         &cfg,
     )
     .with_rule(rule);
-    let mut orch = Orchestrator::new(spec);
+    let mut orch = Orchestrator::for_run(spec, &cfg);
 
     let fam = Family::Lollipop;
     let ns = cfg.scale(

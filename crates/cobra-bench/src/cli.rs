@@ -21,6 +21,19 @@ pub struct ExpConfig {
     /// unset but `csv_dir` is given, the manifest lands next to the CSVs
     /// as `<id>_manifest.json`.
     pub manifest: Option<PathBuf>,
+    /// Resume an interrupted run from the checkpoint next to this
+    /// manifest path (or from the `.ckpt.json` file itself). Completed
+    /// cells are replayed from their recorded trial streams without
+    /// re-simulation; the interrupted cell continues bit-identically
+    /// from its last batch boundary. Implies `--manifest <same path>`
+    /// when no manifest destination is given.
+    pub resume: Option<PathBuf>,
+    /// Deterministic harness fault-injection: stop the run (exit code 3)
+    /// after this many checkpoint writes, leaving a resumable checkpoint
+    /// behind. Used by the kill-and-resume tests and the CI resume-smoke
+    /// step; requires a manifest destination (checkpoints live next to
+    /// the manifest).
+    pub halt_after_checkpoints: Option<usize>,
 }
 
 impl Default for ExpConfig {
@@ -31,6 +44,8 @@ impl Default for ExpConfig {
             seed: 0xC0B7A,
             csv_dir: None,
             manifest: None,
+            resume: None,
+            halt_after_checkpoints: None,
         }
     }
 }
@@ -56,10 +71,25 @@ impl ExpConfig {
                     let v = it.next().ok_or("--manifest needs a path")?;
                     cfg.manifest = Some(PathBuf::from(v));
                 }
+                "--resume" => {
+                    let v = it.next().ok_or("--resume needs a manifest path")?;
+                    cfg.resume = Some(PathBuf::from(v));
+                }
+                "--halt-after-checkpoints" => {
+                    let v = it.next().ok_or("--halt-after-checkpoints needs a count")?;
+                    let n = v
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad checkpoint count {v}: {e}"))?;
+                    if n == 0 {
+                        return Err("--halt-after-checkpoints needs a count >= 1".to_string());
+                    }
+                    cfg.halt_after_checkpoints = Some(n);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: <exp> [--full | --quick] [--seed <u64>] [--csv <dir>] \
-                         [--manifest <path>]"
+                         [--manifest <path>] [--resume <manifest>] \
+                         [--halt-after-checkpoints <n>]"
                             .to_string(),
                     )
                 }
@@ -68,6 +98,17 @@ impl ExpConfig {
         }
         if cfg.full && cfg.quick {
             return Err("--full and --quick are mutually exclusive".to_string());
+        }
+        // A resumed run re-writes its artifacts at the same destination
+        // unless told otherwise (resume paths ending in `.ckpt.json`
+        // name the checkpoint, not the manifest, so they don't imply
+        // a manifest destination).
+        if cfg.manifest.is_none() {
+            if let Some(resume) = &cfg.resume {
+                if !resume.to_string_lossy().ends_with(".ckpt.json") {
+                    cfg.manifest = Some(resume.clone());
+                }
+            }
         }
         Ok(cfg)
     }
@@ -167,6 +208,29 @@ mod tests {
     #[test]
     fn unknown_flag_rejected() {
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn resume_flag_implies_manifest_destination() {
+        let cfg = parse(&["--resume", "/tmp/m.json"]).unwrap();
+        assert_eq!(cfg.resume.as_ref().unwrap(), &PathBuf::from("/tmp/m.json"));
+        assert_eq!(cfg.manifest.unwrap(), PathBuf::from("/tmp/m.json"));
+        // An explicit --manifest wins.
+        let cfg = parse(&["--resume", "/tmp/m.json", "--manifest", "/tmp/n.json"]).unwrap();
+        assert_eq!(cfg.manifest.unwrap(), PathBuf::from("/tmp/n.json"));
+        // A checkpoint path names the checkpoint only.
+        let cfg = parse(&["--resume", "/tmp/m.ckpt.json"]).unwrap();
+        assert!(cfg.manifest.is_none());
+        assert!(parse(&["--resume"]).is_err());
+    }
+
+    #[test]
+    fn halt_after_checkpoints_flag() {
+        let cfg = parse(&["--halt-after-checkpoints", "2"]).unwrap();
+        assert_eq!(cfg.halt_after_checkpoints, Some(2));
+        assert!(parse(&["--halt-after-checkpoints"]).is_err());
+        assert!(parse(&["--halt-after-checkpoints", "0"]).is_err());
+        assert!(parse(&["--halt-after-checkpoints", "x"]).is_err());
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //! * `--seed <u64>` — override the master seed;
 //! * `--csv <dir>` — also write each table as CSV;
 //! * `--manifest <path>` — write the per-run JSON manifest (per-cell
-//!   trials used, censoring, achieved CI half-width, precision flag).
+//!   trials used, censoring, achieved CI half-width, precision flag);
+//! * `--resume <manifest>` — continue an interrupted run bit-identically
+//!   from its checkpoint (written atomically next to the manifest at
+//!   every batch boundary);
+//! * `--halt-after-checkpoints <n>` — deterministic fault injection:
+//!   stop with exit code 3 after the n-th checkpoint write (used by the
+//!   kill-and-resume tests and the CI resume-smoke step).
 //!
 //! Sweep-style binaries run through the adaptive orchestrator
 //! ([`orchestrator::Orchestrator`]): per-cell trial counts follow a
@@ -26,13 +32,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod cli;
 pub mod families;
+pub mod json;
 pub mod orchestrator;
 pub mod report;
 pub mod stages;
 
+pub use checkpoint::{checkpoint_path_for, CellCheckpoint, CellStatus, Checkpoint};
 pub use cli::ExpConfig;
 pub use families::Family;
-pub use orchestrator::{ExperimentSpec, Orchestrator};
+pub use json::Json;
+pub use orchestrator::{CellOutcome, ExperimentSpec, Interrupted, Orchestrator, SweepError};
 pub use stages::{stage_seed, stage_sequence, StageBlock};

@@ -11,17 +11,61 @@
 //! half-width, and whether the precision target was met. The manifest is
 //! what makes an adaptive run auditable — a fixed-trial sweep's cost is
 //! visible in its plan, an adaptive sweep's cost only in its record.
+//!
+//! ## Crash safety and fault tolerance
+//!
+//! Every cell runs through the resumable adaptive runners with a
+//! checkpoint observer at each batch boundary:
+//!
+//! * **checkpointing** — when the run has a manifest destination, the
+//!   per-cell adaptive state (the consumed per-trial outcome stream) is
+//!   written to a sibling `.ckpt.json` file atomically at every batch
+//!   boundary; `--resume` replays completed cells from the checkpoint
+//!   without re-simulation and continues the interrupted cell
+//!   **bit-identically** from its last recorded boundary (per-trial
+//!   outcomes depend only on the global trial index and the cell seed,
+//!   and stop decisions are replayed per trial, so a resumed run's
+//!   manifest is byte-identical to an uninterrupted one);
+//! * **watchdog + retry** — each cell attempt has a wall-clock budget,
+//!   checked at batch boundaries; a timed-out attempt keeps its consumed
+//!   prefix and retries from it with a doubled budget, a bounded number
+//!   of times (timing is non-deterministic but results are not: any
+//!   consumed prefix resumes bit-identically);
+//! * **panic quarantine** — a panicking cell is caught
+//!   ([`std::panic::catch_unwind`]; the workspace does not build with
+//!   `panic = "abort"`), retried with bounded backoff, and after the
+//!   retry budget recorded as `failed` in the manifest instead of
+//!   killing the whole run;
+//! * **deterministic fault injection** — `--halt-after-checkpoints <n>`
+//!   stops the run (exit code 3) right after the n-th checkpoint write,
+//!   which is how the kill-and-resume tests and the CI resume-smoke step
+//!   exercise the recovery path without real `kill -9` races.
 
+use crate::checkpoint::{
+    checkpoint_path_for, CellCheckpoint, CellStatus, Checkpoint, CheckpointFingerprint,
+};
 use crate::cli::ExpConfig;
+use crate::json::escape_str;
 use cobra_core::TypedProcess;
 use cobra_graph::{Graph, Vertex};
 use cobra_sim::runner::AdaptiveOutcome;
 use cobra_sim::sweep::AdaptiveCellReport;
 use cobra_sim::{
-    run_cover_sweep_cells_adaptive, run_cover_trials_adaptive_auto, run_hitting_trials_adaptive,
-    AdaptivePlan, EmptySummary, StopRule, SweepCell, SweepTable,
+    cell_seed, replay_outcomes, run_cover_trials_adaptive_auto_resumable,
+    run_hitting_trials_adaptive_resumable, AdaptivePlan, BatchControl, EmptySummary,
+    ResumableOutcome, StopRule, SweepCell, SweepRow, SweepTable,
 };
+use std::collections::HashSet;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One attempt of a cell's resumable adaptive runner: takes the consumed
+/// per-trial prefix and a per-batch callback, returns the (possibly
+/// halted) outcome.
+type CellAttempt<'a> = &'a dyn Fn(
+    Vec<Option<usize>>,
+    &mut dyn FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome;
 
 /// What an experiment run is: identity, claim, mode, master seed, and
 /// the adaptive trial envelope every sweep in the run uses.
@@ -88,12 +132,119 @@ impl ExperimentSpec {
     }
 }
 
-/// One manifest line: a measured cell and how much it cost.
+/// One manifest line: a measured (or quarantined) cell and how much it
+/// cost.
 #[derive(Clone, Debug)]
 struct ManifestCell {
     sweep: String,
     report: AdaptiveCellReport,
     mean: f64,
+    status: CellStatus,
+    error: Option<String>,
+}
+
+/// How a robustly-run cell ended (when the run itself was not halted).
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell's adaptive run completed; its outcome is usable.
+    Done(AdaptiveOutcome),
+    /// The cell was quarantined (panic or watchdog timeout after the
+    /// retry budget); it is recorded `failed` in the manifest and the
+    /// run continues without its row.
+    Failed(String),
+}
+
+/// The run was deliberately halted by `--halt-after-checkpoints`. The
+/// checkpoint left on disk resumes it bit-identically.
+#[derive(Clone, Debug)]
+pub struct Interrupted {
+    /// Checkpoint writes performed before halting.
+    pub checkpoints: usize,
+    /// Key (`"{sweep}@{scale}"`) of the cell that was in flight.
+    pub cell: String,
+    /// The checkpoint file left on disk.
+    pub checkpoint: Option<PathBuf>,
+    /// Preferred `--resume` argument: the manifest path when the run has
+    /// one (resuming via the manifest re-arms the manifest destination),
+    /// else the checkpoint path.
+    pub resume_from: Option<PathBuf>,
+}
+
+impl Interrupted {
+    /// Print the resume hint and exit with code 3 — the halt code the
+    /// kill-and-resume tests and the CI resume-smoke step assert on.
+    pub fn exit(&self) -> ! {
+        eprintln!(
+            "run halted after {} checkpoint write(s) at cell {:?}{}",
+            self.checkpoints,
+            self.cell,
+            match self.resume_from.as_ref().or(self.checkpoint.as_ref()) {
+                Some(p) => format!("; resume with --resume {}", p.display()),
+                None => String::new(),
+            }
+        );
+        std::process::exit(3);
+    }
+}
+
+/// Why a robust sweep could not produce a table.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A cell completed zero trials (step-budget starvation) — the same
+    /// condition the non-robust sweeps report.
+    Empty(EmptySummary),
+    /// The run was halted at a checkpoint boundary.
+    Interrupted(Interrupted),
+}
+
+impl From<Interrupted> for SweepError {
+    fn from(i: Interrupted) -> Self {
+        SweepError::Interrupted(i)
+    }
+}
+
+enum HaltReason {
+    /// `--halt-after-checkpoints` budget reached.
+    External,
+    /// The cell attempt exceeded its wall-clock budget.
+    Watchdog,
+}
+
+/// Crash-safety state of one run: checkpoint destination, resume data,
+/// accumulated per-cell records, and the fault-handling knobs.
+#[derive(Debug)]
+struct Recovery {
+    checkpoint_path: Option<PathBuf>,
+    manifest_hint: Option<PathBuf>,
+    prior: Vec<CellCheckpoint>,
+    records: Vec<CellCheckpoint>,
+    next_index: usize,
+    checkpoints_written: usize,
+    halt_after: Option<usize>,
+    watchdog_budget: Duration,
+    watchdog_retries: usize,
+    poisoned: HashSet<String>,
+}
+
+impl Default for Recovery {
+    fn default() -> Self {
+        Recovery {
+            checkpoint_path: None,
+            manifest_hint: None,
+            prior: Vec::new(),
+            records: Vec::new(),
+            next_index: 0,
+            checkpoints_written: 0,
+            halt_after: None,
+            // Generous per-attempt default: experiment cells run seconds
+            // to a few minutes; a cell stuck for 10 minutes is wedged,
+            // not slow. Two retries with doubled budgets give a genuinely
+            // slow cell 70 minutes in total before quarantine.
+            watchdog_budget: Duration::from_secs(600),
+            watchdog_retries: 2,
+            poisoned: HashSet::new(),
+        }
+    }
 }
 
 /// Runs adaptive sweeps/cells for one experiment and accumulates the
@@ -102,15 +253,97 @@ struct ManifestCell {
 pub struct Orchestrator {
     spec: ExperimentSpec,
     cells: Vec<ManifestCell>,
+    recovery: Recovery,
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Orchestrator {
-    /// Start a run.
+    /// Start a run with no checkpoint destination (in-process use and
+    /// tests). Binaries should use [`Orchestrator::for_run`], which
+    /// wires up checkpointing, `--resume`, and `--halt-after-checkpoints`.
     pub fn new(spec: ExperimentSpec) -> Self {
         Orchestrator {
             spec,
             cells: Vec::new(),
+            recovery: Recovery::default(),
         }
+    }
+
+    /// Start a run wired to the config's crash-safety flags: derives the
+    /// checkpoint path from the manifest destination, arms
+    /// `--halt-after-checkpoints`, and loads + validates a `--resume`
+    /// checkpoint. Exits with a contextual message on a config error
+    /// (missing/mismatched checkpoint) — the binaries' convention.
+    pub fn for_run(spec: ExperimentSpec, cfg: &ExpConfig) -> Self {
+        match Self::try_for_run(spec, cfg) {
+            Ok(orch) => orch,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Orchestrator::for_run`] returning errors instead of exiting.
+    pub fn try_for_run(spec: ExperimentSpec, cfg: &ExpConfig) -> Result<Self, String> {
+        let mut orch = Orchestrator::new(spec);
+        orch.recovery.manifest_hint = orch.manifest_path(cfg);
+        orch.recovery.checkpoint_path = orch
+            .recovery
+            .manifest_hint
+            .as_ref()
+            .map(|m| checkpoint_path_for(m));
+        orch.recovery.halt_after = cfg.halt_after_checkpoints;
+        if cfg.halt_after_checkpoints.is_some() && orch.recovery.checkpoint_path.is_none() {
+            return Err("--halt-after-checkpoints needs a checkpoint destination; \
+                 pass --manifest <path> or --csv <dir>"
+                .to_string());
+        }
+        if let Some(resume) = &cfg.resume {
+            let ckpt_path = checkpoint_path_for(resume);
+            let ckpt = Checkpoint::load(&ckpt_path)?;
+            ckpt.fingerprint
+                .ensure_matches(&orch.fingerprint())
+                .map_err(|e| format!("cannot resume from {}: {e}", ckpt_path.display()))?;
+            println!(
+                "resuming from {} ({} cell record(s))",
+                ckpt_path.display(),
+                ckpt.cells.len()
+            );
+            orch.recovery.prior = ckpt.cells;
+        }
+        Ok(orch)
+    }
+
+    /// Override the per-cell watchdog: wall-clock budget per attempt
+    /// (checked at batch boundaries, doubled on each retry) and the
+    /// number of retries before a cell is quarantined.
+    pub fn with_watchdog(mut self, budget: Duration, retries: usize) -> Self {
+        self.recovery.watchdog_budget = budget;
+        self.recovery.watchdog_retries = retries;
+        self
+    }
+
+    /// Deterministic fault injection: the cell with this key (format
+    /// `"{sweep}@{scale}"`) panics at the start of every attempt,
+    /// exercising the quarantine path end to end. Wired to e16's
+    /// `--poison-cell` flag.
+    pub fn poison_cell(&mut self, key: impl Into<String>) {
+        self.recovery.poisoned.insert(key.into());
     }
 
     /// The run's spec (mode, rule, seed).
@@ -118,9 +351,22 @@ impl Orchestrator {
         &self.spec
     }
 
+    fn fingerprint(&self) -> CheckpointFingerprint {
+        CheckpointFingerprint::new(
+            &self.spec.id,
+            &self.spec.mode,
+            self.spec.seed,
+            &self.spec.rule,
+            self.spec.batch,
+        )
+    }
+
     /// Run a whole cover sweep adaptively (cells carry per-cell step
-    /// budgets; per-cell seeds derive from `master_seed` exactly as in
-    /// the fixed-trial sweep) and record every cell in the manifest.
+    /// budgets; per-cell seeds derive from `master_seed` via
+    /// [`cell_seed`], exactly as in the fixed-trial sweep) and record
+    /// every cell in the manifest. Quarantined cells are recorded
+    /// `failed` and lose their table row; a halt exits with code 3 (use
+    /// [`Orchestrator::try_cover_sweep`] to handle it yourself).
     pub fn cover_sweep(
         &mut self,
         label: impl Into<String>,
@@ -129,26 +375,62 @@ impl Orchestrator {
         process: &(impl TypedProcess + Sync),
         master_seed: u64,
     ) -> Result<SweepTable, EmptySummary> {
-        let label = label.into();
-        // Budget is per cell; the plan's own max_steps is a fallback for
-        // cells without one. 1 is never used unless a cell omits its
-        // budget, matching the fixed-sweep calling convention.
-        let plan = self.spec.plan(1, master_seed);
-        let sweep =
-            run_cover_sweep_cells_adaptive(label.clone(), scale_name, cells, process, &plan)?;
-        for (report, row) in sweep.reports.iter().zip(&sweep.table.rows) {
-            self.cells.push(ManifestCell {
-                sweep: label.clone(),
-                report: report.clone(),
-                mean: row.mean,
-            });
+        match self.try_cover_sweep(label, scale_name, cells, process, master_seed) {
+            Ok(t) => Ok(t),
+            Err(SweepError::Empty(e)) => Err(e),
+            Err(SweepError::Interrupted(i)) => i.exit(),
         }
-        Ok(sweep.table)
+    }
+
+    /// Fault-aware cover sweep: one robust cell run per [`SweepCell`],
+    /// seeded with `cell_seed(master_seed, index)` — identical streams
+    /// to the non-robust adaptive sweep, so pre-existing manifests keep
+    /// their numbers. Quarantined cells stay in the manifest as `failed`
+    /// but produce no table row.
+    pub fn try_cover_sweep(
+        &mut self,
+        label: impl Into<String>,
+        scale_name: impl Into<String>,
+        cells: impl IntoIterator<Item = SweepCell>,
+        process: &(impl TypedProcess + Sync),
+        master_seed: u64,
+    ) -> Result<SweepTable, SweepError> {
+        let label = label.into();
+        let mut table = SweepTable::new(label.clone(), scale_name);
+        for (cell_idx, cell) in cells.into_iter().enumerate() {
+            // Budget fallback of 1 mirrors the fixed-sweep convention:
+            // it is never reached unless a cell omits its budget.
+            let max_steps = cell.max_steps.unwrap_or(1);
+            let seed = cell_seed(master_seed, cell_idx);
+            match self.try_cover_cell(
+                &label,
+                cell.scale,
+                &cell.graph,
+                process,
+                cell.start,
+                max_steps,
+                seed,
+            )? {
+                CellOutcome::Done(out) => {
+                    table.push(
+                        SweepRow::try_from_summary(cell.scale, &out.summary, out.censored)
+                            .map_err(SweepError::Empty)?,
+                    );
+                }
+                CellOutcome::Failed(_) => {
+                    // The quarantine is already in the manifest; the
+                    // table simply lacks this scale point.
+                }
+            }
+        }
+        Ok(table)
     }
 
     /// Measure one cover cell adaptively and record it. Routes through
     /// the engine-selection heuristic: small lane-friendly cells use the
     /// bit-sliced 64-lane engine, everything else the scratch engine.
+    /// A quarantined cell or a halt exits the process (codes 1 and 3);
+    /// use [`Orchestrator::try_cover_cell`] to handle those yourself.
     #[allow(clippy::too_many_arguments)] // mirrors run_cover_trials' shape
     pub fn cover_cell(
         &mut self,
@@ -160,13 +442,37 @@ impl Orchestrator {
         max_steps: usize,
         master_seed: u64,
     ) -> AdaptiveOutcome {
-        let plan = self.spec.plan(max_steps, master_seed);
-        let out = run_cover_trials_adaptive_auto(g, process, start, &plan);
-        self.record(sweep, scale, &out);
-        out
+        match self.try_cover_cell(sweep, scale, g, process, start, max_steps, master_seed) {
+            Ok(CellOutcome::Done(out)) => out,
+            Ok(CellOutcome::Failed(e)) => {
+                fatal(&format!("cell \"{sweep}@{scale}\" failed permanently: {e}"))
+            }
+            Err(i) => i.exit(),
+        }
     }
 
-    /// Measure one hitting cell adaptively and record it.
+    /// Fault-aware cover cell: checkpointed at batch boundaries,
+    /// panic-quarantined, watchdog-retried, and resumed from a prior
+    /// record when `--resume` loaded one.
+    #[allow(clippy::too_many_arguments)] // mirrors run_cover_trials' shape
+    pub fn try_cover_cell(
+        &mut self,
+        sweep: &str,
+        scale: f64,
+        g: &Graph,
+        process: &(impl TypedProcess + Sync),
+        start: Vertex,
+        max_steps: usize,
+        master_seed: u64,
+    ) -> Result<CellOutcome, Interrupted> {
+        let plan = self.spec.plan(max_steps, master_seed);
+        self.run_cell_robust(sweep, scale, &|prior, on_batch| {
+            run_cover_trials_adaptive_auto_resumable(g, process, start, &plan, prior, on_batch)
+        })
+    }
+
+    /// Measure one hitting cell adaptively and record it. Same exit
+    /// behavior as [`Orchestrator::cover_cell`].
     #[allow(clippy::too_many_arguments)] // mirrors run_hitting_trials' shape
     pub fn hitting_cell(
         &mut self,
@@ -179,19 +485,248 @@ impl Orchestrator {
         max_steps: usize,
         master_seed: u64,
     ) -> AdaptiveOutcome {
-        let plan = self.spec.plan(max_steps, master_seed);
-        let out = run_hitting_trials_adaptive(g, process, start, target, &plan);
-        self.record(sweep, scale, &out);
-        out
+        match self.try_hitting_cell(
+            sweep,
+            scale,
+            g,
+            process,
+            start,
+            target,
+            max_steps,
+            master_seed,
+        ) {
+            Ok(CellOutcome::Done(out)) => out,
+            Ok(CellOutcome::Failed(e)) => {
+                fatal(&format!("cell \"{sweep}@{scale}\" failed permanently: {e}"))
+            }
+            Err(i) => i.exit(),
+        }
     }
 
-    fn record(&mut self, sweep: &str, scale: f64, out: &AdaptiveOutcome) {
+    /// Fault-aware hitting cell; see [`Orchestrator::try_cover_cell`].
+    #[allow(clippy::too_many_arguments)] // mirrors run_hitting_trials' shape
+    pub fn try_hitting_cell(
+        &mut self,
+        sweep: &str,
+        scale: f64,
+        g: &Graph,
+        process: &(impl TypedProcess + Sync),
+        start: Vertex,
+        target: Vertex,
+        max_steps: usize,
+        master_seed: u64,
+    ) -> Result<CellOutcome, Interrupted> {
+        let plan = self.spec.plan(max_steps, master_seed);
+        self.run_cell_robust(sweep, scale, &|prior, on_batch| {
+            run_hitting_trials_adaptive_resumable(g, process, start, target, &plan, prior, on_batch)
+        })
+    }
+
+    /// The robust per-cell core: resume, checkpoint, watchdog, retry,
+    /// quarantine. `run` executes one attempt of the cell's resumable
+    /// adaptive runner from a consumed prefix.
+    fn run_cell_robust(
+        &mut self,
+        sweep: &str,
+        scale: f64,
+        run: CellAttempt<'_>,
+    ) -> Result<CellOutcome, Interrupted> {
+        let index = self.recovery.next_index;
+        self.recovery.next_index += 1;
+        let key = format!("{sweep}@{scale}");
+
+        // Resume: replay a done cell without re-simulation; continue a
+        // running (or retry a failed) cell from its recorded prefix.
+        let mut prior_times: Vec<Option<usize>> = Vec::new();
+        if let Some(rec) = self.recovery.prior.get(index) {
+            if rec.key != key {
+                fatal(&format!(
+                    "resume mismatch at cell {index}: checkpoint recorded {:?}, this run \
+                     produced {:?} — the checkpoint belongs to a different run",
+                    rec.key, key
+                ));
+            }
+            match rec.status {
+                CellStatus::Done => {
+                    let outcome = replay_outcomes(&self.spec.rule, &rec.times);
+                    self.push_done(index, sweep, scale, &outcome, rec.times.clone());
+                    return Ok(CellOutcome::Done(outcome));
+                }
+                CellStatus::Running | CellStatus::Failed => prior_times = rec.times.clone(),
+            }
+        }
+
+        let fingerprint = self.fingerprint();
+        let poisoned = self.recovery.poisoned.contains(&key);
+        let retries = self.recovery.watchdog_retries;
+        let mut budget = self.recovery.watchdog_budget;
+        let mut last_prefix = prior_times;
+        let mut attempt = 0usize;
+
+        loop {
+            let prior_attempt = last_prefix.clone();
+            let started = Instant::now();
+            let mut halt_reason: Option<HaltReason> = None;
+            let result = {
+                let recovery = &mut self.recovery;
+                let halt_slot = &mut halt_reason;
+                let prefix_slot = &mut last_prefix;
+                let key_ref = &key;
+                let fingerprint = &fingerprint;
+                let mut on_batch = |times: &[Option<usize>]| -> BatchControl {
+                    // Keep the consumed prefix in memory regardless of a
+                    // checkpoint destination: watchdog/panic retries
+                    // resume from it even without a file.
+                    *prefix_slot = times.to_vec();
+                    if let Some(path) = recovery.checkpoint_path.clone() {
+                        let mut cells = recovery.records.clone();
+                        cells.push(CellCheckpoint {
+                            index,
+                            key: key_ref.clone(),
+                            status: CellStatus::Running,
+                            times: times.to_vec(),
+                            error: None,
+                        });
+                        let ckpt = Checkpoint {
+                            fingerprint: fingerprint.clone(),
+                            cells,
+                        };
+                        if let Err(e) = ckpt.write(&path) {
+                            fatal(&format!(
+                                "cannot write checkpoint {} while running cell {key_ref:?}: {e}",
+                                path.display()
+                            ));
+                        }
+                        recovery.checkpoints_written += 1;
+                        if let Some(n) = recovery.halt_after {
+                            if recovery.checkpoints_written >= n {
+                                *halt_slot = Some(HaltReason::External);
+                                return BatchControl::Halt;
+                            }
+                        }
+                    }
+                    if started.elapsed() > budget {
+                        *halt_slot = Some(HaltReason::Watchdog);
+                        return BatchControl::Halt;
+                    }
+                    BatchControl::Continue
+                };
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if poisoned {
+                        panic!("injected fault: cell {key_ref:?} poisoned via --poison-cell");
+                    }
+                    run(prior_attempt, &mut on_batch)
+                }))
+            };
+
+            match result {
+                Ok(out) if !out.halted => {
+                    self.push_done(index, sweep, scale, &out.outcome, out.times);
+                    return Ok(CellOutcome::Done(out.outcome));
+                }
+                Ok(out) => match halt_reason {
+                    Some(HaltReason::External) | None => {
+                        return Err(Interrupted {
+                            checkpoints: self.recovery.checkpoints_written,
+                            cell: key,
+                            checkpoint: self.recovery.checkpoint_path.clone(),
+                            resume_from: self
+                                .recovery
+                                .manifest_hint
+                                .clone()
+                                .or_else(|| self.recovery.checkpoint_path.clone()),
+                        });
+                    }
+                    Some(HaltReason::Watchdog) => {
+                        // Progress is preserved: the retry resumes from
+                        // the timed-out attempt's consumed prefix.
+                        last_prefix = out.times;
+                        if attempt >= retries {
+                            let msg = format!(
+                                "watchdog: cell exceeded its {:.3}s attempt budget after {} \
+                                 attempt(s)",
+                                budget.as_secs_f64(),
+                                attempt + 1
+                            );
+                            self.push_failed(index, sweep, scale, &key, last_prefix, &msg);
+                            return Ok(CellOutcome::Failed(msg));
+                        }
+                        budget *= 2;
+                    }
+                },
+                Err(payload) => {
+                    let msg = format!("panicked: {}", panic_message(payload));
+                    if attempt >= retries {
+                        self.push_failed(index, sweep, scale, &key, last_prefix, &msg);
+                        return Ok(CellOutcome::Failed(msg));
+                    }
+                }
+            }
+            attempt += 1;
+            // Bounded backoff between attempts.
+            std::thread::sleep(Duration::from_millis(25u64 << attempt.min(6)));
+        }
+    }
+
+    fn push_done(
+        &mut self,
+        index: usize,
+        sweep: &str,
+        scale: f64,
+        out: &AdaptiveOutcome,
+        times: Vec<Option<usize>>,
+    ) {
         let report = AdaptiveCellReport::from_outcome(scale, out, self.spec.rule.confidence);
         let mean = out.summary.try_mean().unwrap_or(f64::NAN);
         self.cells.push(ManifestCell {
             sweep: sweep.to_string(),
             report,
             mean,
+            status: CellStatus::Done,
+            error: None,
+        });
+        self.recovery.records.push(CellCheckpoint {
+            index,
+            key: format!("{sweep}@{scale}"),
+            status: CellStatus::Done,
+            times,
+            error: None,
+        });
+    }
+
+    fn push_failed(
+        &mut self,
+        index: usize,
+        sweep: &str,
+        scale: f64,
+        key: &str,
+        times: Vec<Option<usize>>,
+        error: &str,
+    ) {
+        eprintln!("cell {key:?} quarantined: {error}");
+        self.cells.push(ManifestCell {
+            sweep: sweep.to_string(),
+            report: AdaptiveCellReport {
+                scale,
+                trials_used: 0,
+                completed: 0,
+                censored: 0,
+                ci_half_width: 0.0,
+                rel_half_width: 0.0,
+                precision_met: false,
+            },
+            mean: f64::NAN,
+            status: CellStatus::Failed,
+            error: Some(error.to_string()),
+        });
+        // The consumed prefix is kept so a later --resume retries the
+        // cell from where it stood, not from scratch.
+        self.recovery.records.push(CellCheckpoint {
+            index,
+            key: key.to_string(),
+            status: CellStatus::Failed,
+            times,
+            error: Some(error.to_string()),
         });
     }
 
@@ -205,18 +740,26 @@ impl Orchestrator {
         self.cells.iter().filter(|c| c.report.precision_met).count()
     }
 
+    /// Cells quarantined as failed so far.
+    pub fn failed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Failed)
+            .count()
+    }
+
     /// Render the run manifest as JSON (hand-rolled, like the bench
     /// baselines — no serde in the workspace).
     pub fn render_manifest(&self) -> String {
         let r = &self.spec.rule;
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"cobra-bench/run-manifest-v1\",\n");
+        out.push_str("  \"schema\": \"cobra-bench/run-manifest-v2\",\n");
         out.push_str(&format!(
             "  \"experiment\": \"{}\",\n  \"claim\": \"{}\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n",
-            escape(&self.spec.id),
-            escape(&self.spec.claim),
-            escape(&self.spec.mode),
+            escape_str(&self.spec.id),
+            escape_str(&self.spec.claim),
+            escape_str(&self.spec.mode),
             self.spec.seed
         ));
         out.push_str(&format!(
@@ -227,12 +770,18 @@ impl Orchestrator {
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let rep = &c.report;
+            let error = match &c.error {
+                Some(e) => format!(", \"error\": \"{}\"", escape_str(e)),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "    {{\"sweep\": \"{}\", \"scale\": {}, \"trials_used\": {}, \
-                 \"completed\": {}, \"censored\": {}, \"mean\": {}, \"ci_half_width\": {:.6}, \
-                 \"rel_half_width\": {:.6}, \"precision_met\": {}}}{}\n",
-                escape(&c.sweep),
+                "    {{\"sweep\": \"{}\", \"scale\": {}, \"status\": \"{}\", \
+                 \"trials_used\": {}, \"completed\": {}, \"censored\": {}, \"mean\": {}, \
+                 \"ci_half_width\": {:.6}, \"rel_half_width\": {:.6}, \
+                 \"precision_met\": {}{}}}{}\n",
+                escape_str(&c.sweep),
                 rep.scale,
+                c.status.as_str(),
                 rep.trials_used,
                 rep.completed,
                 rep.censored,
@@ -244,6 +793,7 @@ impl Orchestrator {
                 rep.ci_half_width,
                 rep.rel_half_width,
                 rep.precision_met,
+                error,
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
@@ -251,11 +801,12 @@ impl Orchestrator {
         let censored: usize = self.cells.iter().map(|c| c.report.censored).sum();
         out.push_str(&format!(
             "  \"totals\": {{\"cells\": {}, \"trials_used\": {}, \"censored\": {}, \
-             \"precision_met_cells\": {}}}\n",
+             \"precision_met_cells\": {}, \"failed_cells\": {}}}\n",
             self.cells.len(),
             self.total_trials(),
             censored,
-            self.precise_cells()
+            self.precise_cells(),
+            self.failed_cells()
         ));
         out.push_str("}\n");
         out
@@ -273,6 +824,11 @@ impl Orchestrator {
 
     /// Print the run's cost line and write the JSON manifest (if the
     /// config names a destination). Call once, after the last sweep.
+    ///
+    /// Manifest writes are atomic; a write failure exits nonzero naming
+    /// the file. A fully successful run deletes its checkpoint (nothing
+    /// left to resume); a run with quarantined cells writes a final
+    /// checkpoint instead so `--resume` can retry them.
     pub fn finish(self, cfg: &ExpConfig) {
         println!(
             "adaptive run: {} cells, {} trials consumed, {}/{} cells met \
@@ -283,27 +839,46 @@ impl Orchestrator {
             self.cells.len(),
             self.spec.rule.rel_precision * 100.0
         );
+        let failed = self.failed_cells();
+        if failed > 0 {
+            eprintln!("{failed} cell(s) quarantined as failed — see the manifest");
+        }
         if let Some(path) = self.manifest_path(cfg) {
             if let Some(parent) = path.parent() {
                 if !parent.as_os_str().is_empty() {
                     if let Err(e) = std::fs::create_dir_all(parent) {
-                        eprintln!("cannot create {}: {e}", parent.display());
-                        return;
+                        fatal(&format!("cannot create {}: {e}", parent.display()));
                     }
                 }
             }
-            match std::fs::write(&path, self.render_manifest()) {
-                Ok(()) => println!("(run manifest written to {})", path.display()),
-                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            if let Err(e) = cobra_sim::write_atomic_str(&path, &self.render_manifest()) {
+                fatal(&format!("failed to write manifest {}: {e}", path.display()));
+            }
+            println!("(run manifest written to {})", path.display());
+            if let Some(ckpt_path) = &self.recovery.checkpoint_path {
+                if failed == 0 {
+                    // A completed run has nothing to resume; a stale
+                    // checkpoint would only confuse the next invocation.
+                    std::fs::remove_file(ckpt_path).ok();
+                } else {
+                    let ckpt = Checkpoint {
+                        fingerprint: self.fingerprint(),
+                        cells: self.recovery.records.clone(),
+                    };
+                    if let Err(e) = ckpt.write(ckpt_path) {
+                        fatal(&format!(
+                            "failed to write final checkpoint {}: {e}",
+                            ckpt_path.display()
+                        ));
+                    }
+                    eprintln!(
+                        "(checkpoint kept at {} — --resume retries the failed cell(s))",
+                        ckpt_path.display()
+                    );
+                }
             }
         }
     }
-}
-
-/// Minimal JSON string escaping for labels (quotes and backslashes; the
-/// labels are plain ASCII otherwise).
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 #[cfg(test)]
@@ -355,8 +930,9 @@ mod tests {
         assert_eq!(orch.total_trials(), out.trials_run());
         assert_eq!(orch.precise_cells(), 1);
         let json = orch.render_manifest();
-        assert!(json.contains("\"schema\": \"cobra-bench/run-manifest-v1\""));
+        assert!(json.contains("\"schema\": \"cobra-bench/run-manifest-v2\""));
         assert!(json.contains("\"sweep\": \"k12\""));
+        assert!(json.contains("\"status\": \"done\""));
         assert!(json.contains("\"precision_met\": true"));
         assert!(json.contains("\"experiment\": \"eT\""));
     }
@@ -377,6 +953,117 @@ mod tests {
         for c in &orch.cells {
             assert!(c.report.trials_used >= orch.spec.rule.min_trials);
             assert!(c.report.trials_used <= orch.spec.rule.max_trials);
+        }
+    }
+
+    #[test]
+    fn robust_sweep_matches_legacy_sweep_streams() {
+        // The robust per-cell path must reproduce the exact numbers of
+        // the non-robust adaptive sweep (same cell seeds, same engine
+        // routing) — otherwise pre-existing manifests would shift.
+        use cobra_sim::run_cover_sweep_cells_adaptive;
+        let spec = ExperimentSpec::from_config("eQ", "c", &ci_cfg());
+        let make_cells = || {
+            [8usize, 12, 16].map(|n| {
+                SweepCell::new(n as f64, classic::cycle(n).unwrap(), 0u32).with_budget(50_000)
+            })
+        };
+        let mut orch = Orchestrator::new(spec.clone());
+        let robust = orch
+            .cover_sweep(
+                "cobra on cycle",
+                "n",
+                make_cells(),
+                &CobraWalk::standard(),
+                5,
+            )
+            .unwrap();
+        let plan = AdaptivePlan::new(spec.rule, spec.batch, 1, 5);
+        let legacy = run_cover_sweep_cells_adaptive(
+            "cobra on cycle",
+            "n",
+            make_cells(),
+            &CobraWalk::standard(),
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(robust.rows.len(), legacy.table.rows.len());
+        for (a, b) in robust.rows.iter().zip(&legacy.table.rows) {
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.p95, b.p95);
+        }
+    }
+
+    #[test]
+    fn poisoned_cell_is_quarantined_and_the_run_continues() {
+        let spec = ExperimentSpec::from_config(
+            "eP",
+            "poison",
+            &ExpConfig {
+                quick: true,
+                ..ExpConfig::default()
+            },
+        );
+        let mut orch = Orchestrator::new(spec);
+        orch.poison_cell("cobra on cycle@12");
+        let cells = [8usize, 12, 16].map(|n| {
+            SweepCell::new(n as f64, classic::cycle(n).unwrap(), 0u32).with_budget(50_000)
+        });
+        let t = orch
+            .try_cover_sweep("cobra on cycle", "n", cells, &CobraWalk::standard(), 3)
+            .unwrap();
+        // The poisoned middle cell lost its row; the others survived.
+        assert_eq!(t.scales(), vec![8.0, 16.0]);
+        assert_eq!(orch.cells.len(), 3);
+        assert_eq!(orch.failed_cells(), 1);
+        let json = orch.render_manifest();
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("--poison-cell"));
+        assert!(json.contains("\"failed_cells\": 1"));
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_wedged_cell() {
+        // A zero budget with zero retries trips at the first batch
+        // boundary. The quick envelope can stop before any boundary, so
+        // pick a rule that cannot meet precision before its trial cap.
+        let spec = ExperimentSpec::from_config("eW", "watchdog", &ci_cfg())
+            .with_rule(StopRule::new(10, 200, 0.0001));
+        let mut orch = Orchestrator::new(spec).with_watchdog(Duration::from_secs(0), 0);
+        let g = classic::cycle(16).unwrap();
+        let out = orch
+            .try_cover_cell("slow", 16.0, &g, &CobraWalk::standard(), 0, 50_000, 3)
+            .unwrap();
+        match out {
+            CellOutcome::Failed(msg) => assert!(msg.contains("watchdog"), "{msg}"),
+            CellOutcome::Done(_) => panic!("cell should have been quarantined"),
+        }
+        assert_eq!(orch.failed_cells(), 1);
+        assert!(orch.render_manifest().contains("\"failed_cells\": 1"));
+    }
+
+    #[test]
+    fn watchdog_retry_preserves_progress_and_stays_bit_identical() {
+        // Start with a 1ns budget so the first attempts time out, but
+        // enough retries that the doubled budget eventually lets the
+        // cell finish; the result must equal an undisturbed run's.
+        let rule = StopRule::new(10, 200, 0.0001);
+        let spec = ExperimentSpec::from_config("eR", "retry", &ci_cfg()).with_rule(rule);
+        let g = classic::cycle(16).unwrap();
+        let mut plain = Orchestrator::new(spec.clone());
+        let want = plain.cover_cell("c", 16.0, &g, &CobraWalk::standard(), 0, 50_000, 3);
+        let mut retried = Orchestrator::new(spec).with_watchdog(Duration::from_nanos(1), 40);
+        let got = retried
+            .try_cover_cell("c", 16.0, &g, &CobraWalk::standard(), 0, 50_000, 3)
+            .unwrap();
+        match got {
+            CellOutcome::Done(out) => {
+                assert_eq!(out.summary.count(), want.summary.count());
+                assert_eq!(out.summary.try_mean().ok(), want.summary.try_mean().ok());
+                assert_eq!(out.censored, want.censored);
+            }
+            CellOutcome::Failed(e) => panic!("retries should have completed the cell: {e}"),
         }
     }
 
@@ -426,7 +1113,103 @@ mod tests {
     }
 
     #[test]
-    fn escape_handles_quotes() {
-        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    fn halt_after_checkpoints_interrupts_and_resume_completes_identically() {
+        let dir = std::env::temp_dir().join(format!("cobra-orch-halt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("m.json");
+        // A rule that cannot stop early: every cell reaches its trial
+        // cap, guaranteeing several batch boundaries (checkpoints).
+        let rule = StopRule::new(10, 60, 0.0001);
+        let mk_spec = || ExperimentSpec::from_config("eH", "halt", &ci_cfg()).with_rule(rule);
+        let base_cfg = ExpConfig {
+            manifest: Some(manifest.clone()),
+            ..ExpConfig::default()
+        };
+        let g = classic::cycle(24).unwrap();
+
+        // Uninterrupted reference run.
+        let mut plain = Orchestrator::try_for_run(mk_spec(), &base_cfg).unwrap();
+        let a1 = plain.cover_cell("c", 24.0, &g, &CobraWalk::standard(), 0, 50_000, 3);
+        let a2 = plain.cover_cell("d", 24.0, &g, &CobraWalk::standard(), 0, 50_000, 4);
+        let reference = plain.render_manifest();
+        plain.finish(&base_cfg);
+        let reference_file = std::fs::read_to_string(&manifest).unwrap();
+        assert!(!checkpoint_path_for(&manifest).exists());
+
+        // Interrupted run: halt right after the second checkpoint write.
+        let halt_cfg = ExpConfig {
+            halt_after_checkpoints: Some(2),
+            ..base_cfg.clone()
+        };
+        let mut halted = Orchestrator::try_for_run(mk_spec(), &halt_cfg).unwrap();
+        let first = halted.try_cover_cell("c", 24.0, &g, &CobraWalk::standard(), 0, 50_000, 3);
+        let interrupted = match first {
+            Err(i) => i,
+            Ok(_) => panic!("expected the halt to interrupt the first cell"),
+        };
+        assert_eq!(interrupted.checkpoints, 2);
+        let ckpt_path = interrupted.checkpoint.clone().unwrap();
+        assert!(ckpt_path.exists());
+
+        // Resumed run: replays/continues and matches the reference
+        // manifest byte for byte.
+        let resume_cfg = ExpConfig {
+            resume: Some(manifest.clone()),
+            ..base_cfg.clone()
+        };
+        let mut resumed = Orchestrator::try_for_run(mk_spec(), &resume_cfg).unwrap();
+        let b1 = resumed.cover_cell("c", 24.0, &g, &CobraWalk::standard(), 0, 50_000, 3);
+        let b2 = resumed.cover_cell("d", 24.0, &g, &CobraWalk::standard(), 0, 50_000, 4);
+        assert_eq!(a1.summary.try_mean().ok(), b1.summary.try_mean().ok());
+        assert_eq!(a1.trials_run(), b1.trials_run());
+        assert_eq!(a2.summary.try_mean().ok(), b2.summary.try_mean().ok());
+        assert_eq!(resumed.render_manifest(), reference);
+        resumed.finish(&resume_cfg);
+        assert_eq!(std::fs::read_to_string(&manifest).unwrap(), reference_file);
+        // The completed resume cleaned up its checkpoint.
+        assert!(!ckpt_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_mismatched_fingerprint_is_refused() {
+        let dir = std::env::temp_dir().join(format!("cobra-orch-fpr-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("m.json");
+        let ckpt = Checkpoint {
+            fingerprint: CheckpointFingerprint::new(
+                "eF",
+                "ci",
+                999, // not the resuming run's default seed
+                &ExperimentSpec::from_config("eF", "c", &ci_cfg()).rule,
+                16,
+            ),
+            cells: Vec::new(),
+        };
+        ckpt.write(&checkpoint_path_for(&manifest)).unwrap();
+        let cfg = ExpConfig {
+            manifest: Some(manifest.clone()),
+            resume: Some(manifest),
+            ..ExpConfig::default()
+        };
+        let err =
+            Orchestrator::try_for_run(ExperimentSpec::from_config("eF", "c", &ci_cfg()), &cfg)
+                .unwrap_err();
+        assert!(err.contains("seed mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn halt_without_checkpoint_destination_is_a_config_error() {
+        let cfg = ExpConfig {
+            halt_after_checkpoints: Some(1),
+            ..ExpConfig::default()
+        };
+        let err =
+            Orchestrator::try_for_run(ExperimentSpec::from_config("eN", "c", &ci_cfg()), &cfg)
+                .unwrap_err();
+        assert!(err.contains("--halt-after-checkpoints"), "{err}");
     }
 }

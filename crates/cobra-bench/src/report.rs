@@ -14,7 +14,12 @@ pub fn emit_table(cfg: &ExpConfig, t: &SweepTable, file_stem: &str) {
         let path = dir.join(format!("{file_stem}.csv"));
         match write_csv(t, &path) {
             Ok(()) => println!("(csv written to {})", path.display()),
-            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            Err(e) => {
+                // A silently missing artifact is worse than a dead run:
+                // downstream plotting would read a stale file.
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
     println!();

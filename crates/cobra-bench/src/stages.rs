@@ -110,6 +110,9 @@ pub const STAGE_BLOCKS: &[StageBlock] = &[
     block("e15", "graphs", slot(15, 0)),
     block("e15", "growth", slot(15, 1)),
     block("e15", "cycle-refresh", slot(15, 2)),
+    // e16: fault-model degradation (loss sweep + structured regimes).
+    block("e16", "loss-sweep", slot(16, 0)), // arm = loss-level index
+    block("e16", "regimes", slot(16, 1)),    // arm = regime index
 ];
 
 const fn block(binary: &'static str, stage: &'static str, base: u64) -> StageBlock {

@@ -55,6 +55,7 @@ pub mod branching;
 pub mod coalescing;
 pub mod cobra;
 pub mod coverage;
+pub mod fault;
 pub mod frontier;
 pub mod gossip;
 pub mod lanes;
@@ -76,6 +77,7 @@ pub use branching::BranchingWalk;
 pub use coalescing::CoalescingWalks;
 pub use cobra::CobraWalk;
 pub use coverage::SuccinctCoverage;
+pub use fault::{DeletionWave, FaultPlan, FaultyCobraState, FaultyCobraWalk, VertexOutage};
 pub use frontier::{CoverageMask, Frontier};
 pub use gossip::{PullGossip, PushGossip, PushPullGossip};
 pub use lanes::{run_lane_cover, LaneOutcome, LaneScratch, LANE_WIDTH};

@@ -17,12 +17,15 @@
 //! * [`convergence`] — run-until-CI-tight sequential stopping: the
 //!   [`convergence::StopRule`] and [`convergence::AdaptivePlan`] behind
 //!   the batched adaptive runners in [`runner`] and the adaptive sweeps
-//!   in [`sweep`].
+//!   in [`sweep`];
+//! * [`fsio`] — atomic (temp + fsync + rename) artifact writes, so an
+//!   interrupted run never leaves a truncated CSV/manifest/checkpoint.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod convergence;
+pub mod fsio;
 pub mod runner;
 pub mod seeds;
 pub mod stats;
@@ -30,17 +33,20 @@ pub mod sweep;
 pub mod table;
 
 pub use convergence::{run_until_precise, AdaptivePlan, StopRule};
+pub use fsio::{write_atomic, write_atomic_str};
 pub use runner::{
-    lane_cover_applies, run_cover_trials, run_cover_trials_adaptive,
-    run_cover_trials_adaptive_auto, run_cover_trials_adaptive_lanes, run_cover_trials_auto,
-    run_cover_trials_implicit, run_cover_trials_lanes, run_cover_trials_typed, run_hitting_trials,
-    run_hitting_trials_adaptive, run_hitting_trials_typed, AdaptiveOutcome, TrialOutcome,
-    TrialPlan, LANE_MAX_N,
+    lane_cover_applies, replay_outcomes, run_cover_trials, run_cover_trials_adaptive,
+    run_cover_trials_adaptive_auto, run_cover_trials_adaptive_auto_resumable,
+    run_cover_trials_adaptive_lanes, run_cover_trials_adaptive_lanes_resumable,
+    run_cover_trials_adaptive_resumable, run_cover_trials_auto, run_cover_trials_implicit,
+    run_cover_trials_lanes, run_cover_trials_typed, run_hitting_trials,
+    run_hitting_trials_adaptive, run_hitting_trials_adaptive_resumable, run_hitting_trials_typed,
+    AdaptiveOutcome, BatchControl, ResumableOutcome, TrialOutcome, TrialPlan, LANE_MAX_N,
 };
 pub use seeds::SeedSequence;
 pub use stats::{ks_distance, quantile_sorted, z_for_level, EmptySummary, Summary};
 pub use sweep::{
-    run_cover_sweep, run_cover_sweep_cells, run_cover_sweep_cells_adaptive, AdaptiveCellReport,
-    AdaptiveSweep, SweepCell, SweepRow, SweepTable,
+    cell_seed, run_cover_sweep, run_cover_sweep_cells, run_cover_sweep_cells_adaptive,
+    AdaptiveCellReport, AdaptiveSweep, SweepCell, SweepRow, SweepTable,
 };
 pub use table::{render_csv, render_markdown};

@@ -448,34 +448,108 @@ impl AdaptiveOutcome {
     }
 }
 
-/// The adaptive batch engine shared by the cover and hitting runners.
+/// Control decision returned by an adaptive batch observer: keep
+/// consuming batches, or halt at this batch boundary (the consumed
+/// prefix so far is exactly what a checkpoint should persist).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchControl {
+    /// Continue to the next batch.
+    Continue,
+    /// Stop at this batch boundary; the run reports `halted = true`.
+    Halt,
+}
+
+/// Outcome of a resumable adaptive run: the usual [`AdaptiveOutcome`]
+/// plus the consumed per-trial outcome stream (global trial order) that
+/// a checkpoint persists, and whether the observer halted the run before
+/// the rule decided.
+#[derive(Clone, Debug)]
+pub struct ResumableOutcome {
+    /// The adaptive outcome over the consumed prefix.
+    pub outcome: AdaptiveOutcome,
+    /// Per-trial outcomes for exactly the consumed prefix, in global
+    /// trial order (`Some(steps)` completed, `None` censored). Feeding
+    /// this back as `prior` resumes the run bit-identically.
+    pub times: Vec<Option<usize>>,
+    /// Whether the batch observer halted the run. A halted run is
+    /// incomplete: `outcome` describes the prefix consumed so far.
+    pub halted: bool,
+}
+
+/// Replay a consumed-prefix outcome stream through a stop rule,
+/// reconstructing the summary/censoring/precision state an uninterrupted
+/// adaptive run had after those trials. Stopping decisions are made
+/// per-trial in global order, so entries past the stopping index (or the
+/// trial cap) are ignored.
+fn replay_prefix(rule: &crate::convergence::StopRule, times: &[Option<usize>]) -> AdaptiveOutcome {
+    let mut summary = Summary::new();
+    let mut censored = 0usize;
+    let mut met = false;
+    for &t in times {
+        if met || summary.count() + censored >= rule.max_trials {
+            break;
+        }
+        match t {
+            Some(steps) => {
+                summary.push(steps as f64);
+                if rule.satisfied(&summary) {
+                    met = true;
+                }
+            }
+            None => censored += 1,
+        }
+    }
+    AdaptiveOutcome {
+        summary,
+        censored,
+        precision_met: met,
+    }
+}
+
+/// Public view of the internal `replay_prefix`: rebuild an [`AdaptiveOutcome`] from
+/// a checkpointed per-trial outcome stream. Used by `--resume` to render
+/// completed cells into the final manifest byte-identically without
+/// recomputing a single trial.
+pub fn replay_outcomes(
+    rule: &crate::convergence::StopRule,
+    times: &[Option<usize>],
+) -> AdaptiveOutcome {
+    replay_prefix(rule, times)
+}
+
+/// The shared control loop of every adaptive engine, resumable at batch
+/// boundaries.
 ///
 /// Semantics: trials are conceptually consumed one at a time in global
 /// index order, with the stop rule consulted after every trial — exactly
 /// the serial [`crate::convergence::run_until_precise`] loop. Execution
-/// runs `plan.batch` trials ahead speculatively in worker-parallel
-/// batches (per-worker scratch via `map_init`, per-trial RNGs from the
-/// global index), then replays the batch serially against the rule and
-/// **discards** any trials past the stopping index. Because each trial's
-/// outcome depends only on its global index, and the stopping index
-/// depends only on the ordered prefix of outcomes, the result is
-/// bit-identical across worker counts and batch sizes; batch size only
-/// trades a little discarded speculation against synchronization.
-fn run_adaptive_batches<S, Init, Trial>(
+/// speculates ahead through `extend(lo, hi)`, which appends per-trial
+/// outcomes for global indices `lo..` (at least through `hi`; the lane
+/// extender rounds up to whole 64-lane batches), then replays the new
+/// outcomes serially against the rule. Because each trial's outcome
+/// depends only on its global index, and the stopping index only on the
+/// ordered prefix of outcomes, the result is bit-identical across worker
+/// counts, batch sizes, **and** resume points: seeding the loop with a
+/// `prior` prefix (from a checkpoint) replays it through the rule and
+/// continues exactly where an uninterrupted run would be.
+///
+/// `on_batch` runs at every batch boundary that leaves work remaining,
+/// receiving the consumed prefix — the checkpoint/watchdog seam.
+fn adaptive_stream_loop(
     plan: &AdaptivePlan,
-    init: Init,
-    trial: Trial,
-) -> AdaptiveOutcome
-where
-    Init: Fn() -> S + Sync,
-    Trial: Fn(&mut S, usize) -> Option<usize> + Sync,
-{
+    prior: Vec<Option<usize>>,
+    mut extend: impl FnMut(usize, usize) -> Vec<Option<usize>>,
+    mut on_batch: impl FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome {
     let rule = plan.rule;
-    let mut summary = Summary::new();
-    let mut censored = 0usize;
-    let mut consumed = 0usize;
-    let mut met = false;
-    while consumed < rule.max_trials && !met {
+    let mut times = prior;
+    let mut outcome = replay_prefix(&rule, &times);
+    let mut consumed = outcome.trials_run();
+    // Entries past the replayed stopping index (reachable only from a
+    // prior that over-ran the rule) are not part of the consumed stream.
+    times.truncate(consumed);
+    let mut halted = false;
+    while consumed < rule.max_trials && !outcome.precision_met && !halted {
         // Never launch past the cap, and never speculate past the first
         // point the rule could actually fire: the opening batch runs
         // exactly to `min_trials` (an easy cell then computes the
@@ -488,29 +562,78 @@ where
             consumed + plan.batch
         };
         let hi = horizon.min(rule.max_trials);
-        let times: Vec<Option<usize>> = (consumed..hi)
-            .into_par_iter()
-            .map_init(&init, |scratch, i| trial(scratch, i))
-            .collect();
-        for t in times {
-            consumed += 1;
-            match t {
+        if times.len() < hi {
+            let lo = times.len();
+            let more = extend(lo, hi);
+            debug_assert!(lo + more.len() >= hi, "extender under-filled the horizon");
+            times.extend(more);
+        }
+        while consumed < hi && !outcome.precision_met {
+            match times[consumed] {
                 Some(steps) => {
-                    summary.push(steps as f64);
-                    if rule.satisfied(&summary) {
-                        met = true;
-                        break;
+                    outcome.summary.push(steps as f64);
+                    if rule.satisfied(&outcome.summary) {
+                        outcome.precision_met = true;
                     }
                 }
-                None => censored += 1,
+                None => outcome.censored += 1,
+            }
+            consumed += 1;
+        }
+        if !outcome.precision_met && consumed < rule.max_trials {
+            if let BatchControl::Halt = on_batch(&times[..consumed]) {
+                halted = true;
             }
         }
     }
-    AdaptiveOutcome {
-        summary,
-        censored,
-        precision_met: met,
+    times.truncate(consumed);
+    ResumableOutcome {
+        outcome,
+        times,
+        halted,
     }
+}
+
+/// The adaptive batch engine shared by the cover and hitting scratch
+/// runners: [`adaptive_stream_loop`] with a worker-parallel extender
+/// (per-worker scratch via `map_init`, per-trial RNGs from the global
+/// index).
+fn run_adaptive_batches_resumable<S, Init, Trial>(
+    plan: &AdaptivePlan,
+    prior: Vec<Option<usize>>,
+    init: Init,
+    trial: Trial,
+    on_batch: impl FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome
+where
+    Init: Fn() -> S + Sync,
+    Trial: Fn(&mut S, usize) -> Option<usize> + Sync,
+{
+    adaptive_stream_loop(
+        plan,
+        prior,
+        |lo, hi| {
+            (lo..hi)
+                .into_par_iter()
+                .map_init(&init, |scratch, i| trial(scratch, i))
+                .collect()
+        },
+        on_batch,
+    )
+}
+
+/// Non-resumable wrapper kept for the fixed entry points.
+fn run_adaptive_batches<S, Init, Trial>(
+    plan: &AdaptivePlan,
+    init: Init,
+    trial: Trial,
+) -> AdaptiveOutcome
+where
+    Init: Fn() -> S + Sync,
+    Trial: Fn(&mut S, usize) -> Option<usize> + Sync,
+{
+    run_adaptive_batches_resumable(plan, Vec::new(), init, trial, |_| BatchControl::Continue)
+        .outcome
 }
 
 /// Adaptive variant of [`run_cover_trials_typed`]: runs cover trials in
@@ -557,50 +680,49 @@ pub fn run_cover_trials_adaptive_lanes<P: TypedProcess + Sync>(
     start: Vertex,
     plan: &AdaptivePlan,
 ) -> AdaptiveOutcome {
-    let rule = plan.rule;
-    let mut times: Vec<Option<usize>> = Vec::new();
-    let mut summary = Summary::new();
-    let mut censored = 0usize;
-    let mut consumed = 0usize;
-    let mut met = false;
-    while consumed < rule.max_trials && !met {
-        let horizon = if consumed < rule.min_trials {
-            rule.min_trials
-        } else {
-            consumed + plan.batch
-        };
-        let hi = horizon.min(rule.max_trials);
-        let have = times.len() / LANE_WIDTH;
-        let need = hi.div_ceil(LANE_WIDTH);
-        if need > have {
-            times.extend(lane_cover_times(
+    run_cover_trials_adaptive_lanes_resumable(g, process, start, plan, Vec::new(), |_| {
+        BatchControl::Continue
+    })
+    .outcome
+}
+
+/// Resumable form of [`run_cover_trials_adaptive_lanes`]: seed with a
+/// checkpointed `prior` prefix and observe batch boundaries via
+/// `on_batch`. A resume from any consumed prefix is bit-identical to the
+/// uninterrupted run (the lane stream is prefix-stable and
+/// random-access by batch, so a prior ending mid-batch recomputes only
+/// that batch's already-consumed lanes and discards them).
+pub fn run_cover_trials_adaptive_lanes_resumable<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &AdaptivePlan,
+    prior: Vec<Option<usize>>,
+    on_batch: impl FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome {
+    adaptive_stream_loop(
+        plan,
+        prior,
+        |lo, hi| {
+            // Lane batches are computed whole (the shared-draw stream of
+            // a 64-lane batch is a unit); when `lo` sits mid-batch the
+            // already-consumed lanes of that batch are recomputed and
+            // dropped, preserving the flattened global stream exactly.
+            let first = lo / LANE_WIDTH;
+            let need = hi.div_ceil(LANE_WIDTH);
+            let mut v = lane_cover_times(
                 g,
                 process,
                 start,
                 plan.max_steps,
                 plan.master_seed,
-                have..need,
-            ));
-        }
-        for &t in &times[consumed..hi] {
-            consumed += 1;
-            match t {
-                Some(steps) => {
-                    summary.push(steps as f64);
-                    if rule.satisfied(&summary) {
-                        met = true;
-                        break;
-                    }
-                }
-                None => censored += 1,
-            }
-        }
-    }
-    AdaptiveOutcome {
-        summary,
-        censored,
-        precision_met: met,
-    }
+                first..need,
+            );
+            v.drain(..lo - first * LANE_WIDTH);
+            v
+        },
+        on_batch,
+    )
 }
 
 /// Adaptive cover trials through the best engine for the cell: the
@@ -630,11 +752,81 @@ pub fn run_hitting_trials_adaptive<P: TypedProcess + Sync>(
     target: Vertex,
     plan: &AdaptivePlan,
 ) -> AdaptiveOutcome {
+    run_hitting_trials_adaptive_resumable(g, process, start, target, plan, Vec::new(), |_| {
+        BatchControl::Continue
+    })
+    .outcome
+}
+
+/// Resumable form of [`run_cover_trials_adaptive`]: seed with a
+/// checkpointed `prior` outcome prefix and observe batch boundaries via
+/// `on_batch` (the checkpoint/watchdog seam). Resuming from any consumed
+/// prefix is bit-identical to the uninterrupted run — per-trial RNGs key
+/// on the global trial index and stopping decisions are per-trial, so
+/// the prefix partition cannot affect the result.
+pub fn run_cover_trials_adaptive_resumable<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &AdaptivePlan,
+    prior: Vec<Option<usize>>,
+    on_batch: impl FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome {
+    let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let driver = CoverDriver::new(g);
+    run_adaptive_batches_resumable(
+        plan,
+        prior,
+        || TrialScratch::new(g),
+        |scratch, i| {
+            let mut rng = seq.rng_at(i as u64);
+            let res = driver
+                .run_typed_in(process, &sampler, scratch, start, plan.max_steps, &mut rng)
+                .expect("non-empty graph");
+            res.completed.then_some(res.steps)
+        },
+        on_batch,
+    )
+}
+
+/// Resumable form of [`run_cover_trials_adaptive_auto`]: routes to the
+/// lane or scratch resumable engine by [`lane_cover_applies`] at the
+/// rule's `max_trials` — the same data-independent gate as the
+/// non-resumable auto runner, so a resumed cell always re-routes to the
+/// engine (and stream) its checkpoint came from.
+pub fn run_cover_trials_adaptive_auto_resumable<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &AdaptivePlan,
+    prior: Vec<Option<usize>>,
+    on_batch: impl FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome {
+    if lane_cover_applies(g, process, plan.rule.max_trials) {
+        run_cover_trials_adaptive_lanes_resumable(g, process, start, plan, prior, on_batch)
+    } else {
+        run_cover_trials_adaptive_resumable(g, process, start, plan, prior, on_batch)
+    }
+}
+
+/// Resumable form of [`run_hitting_trials_adaptive`]; same invariants as
+/// [`run_cover_trials_adaptive_resumable`].
+pub fn run_hitting_trials_adaptive_resumable<P: TypedProcess + Sync>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    target: Vertex,
+    plan: &AdaptivePlan,
+    prior: Vec<Option<usize>>,
+    on_batch: impl FnMut(&[Option<usize>]) -> BatchControl,
+) -> ResumableOutcome {
     let seq = SeedSequence::new(plan.master_seed);
     let sampler = NeighborSampler::new(g);
     let driver = HittingDriver::new(g);
-    run_adaptive_batches(
+    run_adaptive_batches_resumable(
         plan,
+        prior,
         || TrialScratch::new(g),
         |scratch, i| {
             let mut rng = seq.rng_at(i as u64);
@@ -649,6 +841,7 @@ pub fn run_hitting_trials_adaptive<P: TypedProcess + Sync>(
             );
             res.hit.then_some(res.steps)
         },
+        on_batch,
     )
 }
 
@@ -1056,6 +1249,135 @@ mod tests {
         let scratch = run_cover_trials_adaptive(&g, &cobra, 0, &small);
         assert_eq!(auto_small.summary.count(), scratch.summary.count());
         assert_eq!(auto_small.summary.mean(), scratch.summary.mean());
+    }
+
+    #[test]
+    fn resumable_scratch_matches_uninterrupted_from_every_boundary() {
+        // Halt at each batch boundary in turn, then resume from the
+        // checkpointed prefix: outcome and consumed stream must equal the
+        // uninterrupted run's exactly.
+        let g = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let plan = AdaptivePlan::new(StopRule::new(8, 2000, 0.03), 16, 100_000, 77);
+        let full = run_cover_trials_adaptive_resumable(&g, &cobra, 0, &plan, Vec::new(), |_| {
+            BatchControl::Continue
+        });
+        assert!(!full.halted);
+        assert!(full.outcome.precision_met);
+        for halt_after in 1..4usize {
+            let mut boundaries = 0usize;
+            let mut checkpoint: Vec<Option<usize>> = Vec::new();
+            let interrupted =
+                run_cover_trials_adaptive_resumable(&g, &cobra, 0, &plan, Vec::new(), |prefix| {
+                    boundaries += 1;
+                    if boundaries >= halt_after {
+                        checkpoint = prefix.to_vec();
+                        BatchControl::Halt
+                    } else {
+                        BatchControl::Continue
+                    }
+                });
+            if !interrupted.halted {
+                // The rule stopped before the halt-th boundary; nothing
+                // left to resume.
+                assert_eq!(interrupted.times, full.times);
+                continue;
+            }
+            assert_eq!(interrupted.times, checkpoint);
+            let resumed =
+                run_cover_trials_adaptive_resumable(&g, &cobra, 0, &plan, checkpoint, |_| {
+                    BatchControl::Continue
+                });
+            assert_eq!(resumed.times, full.times, "halt at boundary {halt_after}");
+            assert_eq!(resumed.outcome.summary.mean(), full.outcome.summary.mean());
+            assert_eq!(resumed.outcome.censored, full.outcome.censored);
+            assert_eq!(resumed.outcome.precision_met, full.outcome.precision_met);
+        }
+    }
+
+    #[test]
+    fn resumable_lanes_resumes_mid_batch_prefixes() {
+        // A lane checkpoint can end mid-64-lane-batch (batch size 8 →
+        // consumed prefixes of 64, 72, 80, …). Resuming must recompute
+        // only the partial batch and land bit-identical.
+        let g = classic::cycle(24).unwrap();
+        let cobra = CobraWalk::standard();
+        let plan = AdaptivePlan::new(StopRule::new(64, 640, 0.02), 8, 100_000, 42);
+        let full =
+            run_cover_trials_adaptive_lanes_resumable(&g, &cobra, 0, &plan, Vec::new(), |_| {
+                BatchControl::Continue
+            });
+        let mut halted_once = false;
+        let interrupted =
+            run_cover_trials_adaptive_lanes_resumable(&g, &cobra, 0, &plan, Vec::new(), |prefix| {
+                // Halt at the second boundary: consumed = 64 + 8 = 72,
+                // mid-way through lane batch 1.
+                if prefix.len() >= 72 {
+                    halted_once = true;
+                    BatchControl::Halt
+                } else {
+                    BatchControl::Continue
+                }
+            });
+        assert!(halted_once && interrupted.halted);
+        assert_eq!(interrupted.times.len() % LANE_WIDTH, 8);
+        let resumed = run_cover_trials_adaptive_lanes_resumable(
+            &g,
+            &cobra,
+            0,
+            &plan,
+            interrupted.times,
+            |_| BatchControl::Continue,
+        );
+        assert_eq!(resumed.times, full.times);
+        assert_eq!(resumed.outcome.summary.mean(), full.outcome.summary.mean());
+        assert_eq!(resumed.outcome.censored, full.outcome.censored);
+    }
+
+    #[test]
+    fn replay_outcomes_reconstructs_the_adaptive_outcome() {
+        let g = classic::complete(16).unwrap();
+        let cobra = CobraWalk::standard();
+        let plan = AdaptivePlan::new(StopRule::new(6, 500, 0.04), 7, 10_000, 0xAB);
+        let run = run_cover_trials_adaptive_resumable(&g, &cobra, 0, &plan, Vec::new(), |_| {
+            BatchControl::Continue
+        });
+        let replayed = replay_outcomes(&plan.rule, &run.times);
+        assert_eq!(replayed.summary.count(), run.outcome.summary.count());
+        assert_eq!(replayed.summary.mean(), run.outcome.summary.mean());
+        assert_eq!(replayed.summary.median(), run.outcome.summary.median());
+        assert_eq!(replayed.censored, run.outcome.censored);
+        assert_eq!(replayed.precision_met, run.outcome.precision_met);
+        // A done cell replayed with extra garbage appended ignores the
+        // entries past its stopping index.
+        let mut padded = run.times.clone();
+        padded.extend([Some(1), None, Some(2)]);
+        let replay_padded = replay_outcomes(&plan.rule, &padded);
+        assert_eq!(replay_padded.summary.count(), replayed.summary.count());
+        assert_eq!(replay_padded.summary.mean(), replayed.summary.mean());
+    }
+
+    #[test]
+    fn resumable_done_prior_skips_all_work() {
+        // Feeding a completed cell's stream back as prior must return
+        // the same outcome without calling the extender at all — that is
+        // what lets --resume render done cells with zero recomputation.
+        let g = classic::complete(16).unwrap();
+        let cobra = CobraWalk::standard();
+        let plan = AdaptivePlan::new(StopRule::new(6, 500, 0.04), 7, 10_000, 0xAB);
+        let run = run_cover_trials_adaptive_resumable(&g, &cobra, 0, &plan, Vec::new(), |_| {
+            BatchControl::Continue
+        });
+        assert!(run.outcome.precision_met);
+        let mut boundaries = 0usize;
+        let redone =
+            run_cover_trials_adaptive_resumable(&g, &cobra, 0, &plan, run.times.clone(), |_| {
+                boundaries += 1;
+                BatchControl::Continue
+            });
+        assert_eq!(boundaries, 0, "no batch should run on a done prior");
+        assert_eq!(redone.times, run.times);
+        assert_eq!(redone.outcome.summary.mean(), run.outcome.summary.mean());
     }
 
     #[test]

@@ -122,6 +122,20 @@ impl SweepTable {
     }
 }
 
+/// The per-cell master seed of sweep cell `cell_idx` under a sweep
+/// master seed: `SeedSequence::new(master).child(cell_idx).seed_at(0)`.
+///
+/// This is **the** derivation both sweep runners use; anything that
+/// re-executes individual sweep cells out of band (the checkpoint/resume
+/// orchestrator in cobra-bench) must call this helper rather than
+/// re-deriving, so the two can never drift and a resumed cell replays
+/// the exact trial stream of the original run.
+pub fn cell_seed(master_seed: u64, cell_idx: usize) -> u64 {
+    crate::seeds::SeedSequence::new(master_seed)
+        .child(cell_idx as u64)
+        .seed_at(0)
+}
+
 /// One cell of a cover sweep: a scale point, the graph to measure on, the
 /// start vertex, and an optional per-cell step budget (experiments
 /// routinely size the budget to the scale — e.g. `O(n)` for cobra on
@@ -177,10 +191,9 @@ pub fn run_cover_sweep_cells<P: TypedProcess + Sync>(
     plan: &TrialPlan,
 ) -> Result<SweepTable, EmptySummary> {
     let mut table = SweepTable::new(label, scale_name);
-    let master = crate::seeds::SeedSequence::new(plan.master_seed);
     for (cell_idx, cell) in cells.into_iter().enumerate() {
         let cell_plan = TrialPlan {
-            master_seed: master.child(cell_idx as u64).seed_at(0),
+            master_seed: cell_seed(plan.master_seed, cell_idx),
             max_steps: cell.max_steps.unwrap_or(plan.max_steps),
             ..*plan
         };
@@ -286,10 +299,9 @@ pub fn run_cover_sweep_cells_adaptive<P: TypedProcess + Sync>(
 ) -> Result<AdaptiveSweep, EmptySummary> {
     let mut table = SweepTable::new(label, scale_name);
     let mut reports = Vec::new();
-    let master = crate::seeds::SeedSequence::new(plan.master_seed);
     for (cell_idx, cell) in cells.into_iter().enumerate() {
         let cell_plan = AdaptivePlan {
-            master_seed: master.child(cell_idx as u64).seed_at(0),
+            master_seed: cell_seed(plan.master_seed, cell_idx),
             max_steps: cell.max_steps.unwrap_or(plan.max_steps),
             ..*plan
         };

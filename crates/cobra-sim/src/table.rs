@@ -90,12 +90,17 @@ pub fn render_markdown(t: &SweepTable) -> String {
     out
 }
 
-/// Write CSV to a file path, creating parent directories as needed.
+/// Write CSV to a file path, creating parent directories as needed. The
+/// write is atomic ([`crate::fsio::write_atomic`]): an interrupted run
+/// leaves either the previous complete file or the new one, never a
+/// truncated artifact.
 pub fn write_csv(t: &SweepTable, path: &std::path::Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
     }
-    std::fs::write(path, render_csv(t))
+    crate::fsio::write_atomic_str(path, &render_csv(t))
 }
 
 #[cfg(test)]
