@@ -49,7 +49,7 @@ pub fn bootstrap_exponent_ci<R: Rng>(
         exps.push(power_law_fit(&bx, &by).slope);
     }
     assert!(!exps.is_empty(), "all bootstrap resamples were degenerate");
-    exps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    exps.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     (
         quantile_sorted(&exps, alpha),

@@ -36,6 +36,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> FitResult {
     assert!(sxx > 0.0, "x values are all identical");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
+    // lint:allow(float-eq, syy is exactly zero iff every y equals mean_y; any nonzero spread however small makes the ratio well-defined)
     let r_squared = if syy == 0.0 {
         1.0
     } else {

@@ -32,7 +32,7 @@ fn main() {
     let mut cliff_ok = true;
     let mut diminishing_ok = true;
     for (c, (fam, scale)) in cases.iter().enumerate() {
-        let g = fam.build(*scale, cfg.seed ^ ((c as u64) << 9));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e12", "graphs", c as u64));
         let n = g.num_vertices();
         let start = fam.adversarial_start(&g);
         println!("### {} (n = {n})\n", fam.name());

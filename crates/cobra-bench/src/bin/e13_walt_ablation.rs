@@ -34,7 +34,7 @@ fn main() {
     let mut delta_monotone_ok = true;
 
     for (c, (fam, scale)) in cases.iter().enumerate() {
-        let g = fam.build(*scale, cfg.seed ^ ((c as u64) << 13));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e13", "graphs", c as u64));
         let n = g.num_vertices();
         let budget = 3000 * ((n as f64).ln() as usize + 1) * 10 + 200_000;
         println!("### {} (n = {n})\n", fam.name());

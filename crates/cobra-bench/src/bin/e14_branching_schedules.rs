@@ -48,7 +48,7 @@ fn main() {
     let mut lower_mean_slower = true;
     let mut star_phase_gap = 0.0f64;
     for (c, (fam, scale)) in cases.iter().enumerate() {
-        let g = fam.build(*scale, cfg.seed ^ ((c as u64) << 11));
+        let g = fam.build(*scale, stage_seed(cfg.seed, "e14", "graphs", c as u64));
         let n = g.num_vertices();
         let start = fam.adversarial_start(&g);
         println!("### {} (n = {n})\n", fam.name());
@@ -121,13 +121,21 @@ fn main() {
         &g,
         &heavy,
         start,
-        &TrialPlan::new(trials, budget, cfg.seed ^ 1),
+        &TrialPlan::new(
+            trials,
+            budget,
+            stage_seed(cfg.seed, "e14", "star-branching", 0),
+        ),
     );
     let out_f = run_cover_trials(
         &g,
         &fixed,
         start,
-        &TrialPlan::new(trials, budget, cfg.seed ^ 2),
+        &TrialPlan::new(
+            trials,
+            budget,
+            stage_seed(cfg.seed, "e14", "star-branching", 1),
+        ),
     );
     println!(
         "star, vertex-dependent branching: degree-scaled (hub k=4, leaves k=1) covers in {:.1} \

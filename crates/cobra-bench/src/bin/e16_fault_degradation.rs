@@ -53,7 +53,7 @@ fn loss_sweep(
     let family = Family::Grid { d: 2 };
     let process = FaultyCobraWalk::new(2, FaultPlan::none().with_pebble_loss(p));
     let cells = sides.iter().enumerate().map(|(i, &side)| {
-        let g = family.build(side, cfg.seed ^ (i as u64) << 8);
+        let g = family.build(side, stage_seed(cfg.seed, "e16", "graphs", i as u64));
         let start = family.adversarial_start(&g);
         let budget = (8_000 + 1_500 * side) * if p > 0.0 { 4 } else { 1 };
         SweepCell::new(side as f64, g, start).with_budget(budget)

@@ -10,6 +10,7 @@
 //! * p95 tracks the mean (the paper's bounds are w.h.p.).
 
 use cobra_bench::report::{banner, classify_and_report, emit_table, fit_and_report, verdict};
+use cobra_bench::stages::stage_seed;
 use cobra_bench::{ExpConfig, ExperimentSpec, Family, Orchestrator};
 use cobra_core::{CobraWalk, SimpleWalk, TypedProcess};
 use cobra_sim::sweep::{SweepCell, SweepTable};
@@ -30,7 +31,7 @@ fn sweep_cover<P: TypedProcess + Sync>(
     // Lazy cell iterator: only one cell's graph is alive at a time, as in
     // the pre-sweep loop.
     let cells = scales.iter().enumerate().map(|(i, &scale)| {
-        let g = family.build(scale, cfg.seed ^ (i as u64) << 8);
+        let g = family.build(scale, stage_seed(cfg.seed, "e1", "graphs", i as u64));
         let start = family.adversarial_start(&g);
         SweepCell::new(scale as f64, g, start).with_budget(budget_for(scale))
     });

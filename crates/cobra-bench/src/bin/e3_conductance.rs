@@ -79,7 +79,7 @@ fn main() {
     for (fam, scales) in &sweeps {
         let mut table = SweepTable::new(format!("cobra(k=2) on {}", fam.name()), "scale");
         for (i, &scale) in scales.iter().enumerate() {
-            let g = fam.build(scale, cfg.seed ^ ((i as u64) << 12));
+            let g = fam.build(scale, stage_seed(cfg.seed, "e3", "graphs", i as u64));
             let n = g.num_vertices();
             let phi = conductance_of(cfg.full, fam, scale, &g);
             let logn = (n as f64).ln();

@@ -44,7 +44,10 @@ fn main() {
         // `O(log²n)` budget, exactly as the pre-sweep loop sized them.
         // Lazy iterator so only one cell's graph is alive at a time.
         let cells = ns.iter().enumerate().map(|(i, &n)| {
-            let g = fam.build(n, cfg.seed ^ ((d as u64) << 20) ^ ((i as u64) << 4));
+            let g = fam.build(
+                n,
+                stage_seed(cfg.seed, "e4", "graphs", (d as u64) * 100 + i as u64),
+            );
             let logn = (g.num_vertices() as f64).ln();
             let budget = (300.0 * logn * logn) as usize + 5_000;
             SweepCell::new(g.num_vertices() as f64, g, 0u32).with_budget(budget)
@@ -95,7 +98,7 @@ fn main() {
         vec![128, 256, 512, 1024, 2048],
     );
     let rw_cells = rw_ns.iter().enumerate().map(|(i, &n)| {
-        let g = fam.build(n, cfg.seed ^ ((i as u64) << 4));
+        let g = fam.build(n, stage_seed(cfg.seed, "e4", "rw-graphs", i as u64));
         let nn = g.num_vertices() as f64;
         let budget = (200.0 * nn * nn.ln()) as usize + 10_000;
         SweepCell::new(nn, g, 0u32).with_budget(budget)

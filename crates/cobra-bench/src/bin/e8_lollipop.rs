@@ -104,7 +104,7 @@ fn main() {
     let last = t_rw.rows.len() - 1;
     let local_exp = (t_rw.means()[last] / t_rw.means()[last - 1]).ln()
         / (t_rw.scales()[last] / t_rw.scales()[last - 1]).ln();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE8);
+    let mut rng = StdRng::seed_from_u64(stage_seed(cfg.seed, "e8", "bootstrap", 0));
     let (c_lo, c_hi) =
         bootstrap_exponent_ci(&t_cobra.scales(), &t_cobra.means(), 600, 0.95, &mut rng);
     let (r_lo, r_hi) = bootstrap_exponent_ci(&rw_xs, &rw_ys, 600, 0.95, &mut rng);

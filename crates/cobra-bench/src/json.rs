@@ -37,6 +37,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -108,6 +109,29 @@ impl Json {
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
+
+    /// Serialize back to a compact JSON document. Numbers re-emit their
+    /// raw source token, so parse → render → parse is lossless even for
+    /// full-range `u64` seeds that do not survive `f64`.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(raw) => raw.clone(),
+            Json::Str(s) => format!("\"{}\"", escape_str(s)),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape_str(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
 }
 
 /// Escape a string for embedding in a JSON document (quotes,
@@ -129,9 +153,15 @@ pub fn escape_str(s: &str) -> String {
     out
 }
 
+/// Nesting cap for the recursive-descent parser: our own writers emit a
+/// handful of levels, so anything near this bound is hostile or corrupt
+/// input, and refusing it beats overflowing the stack.
+const MAX_DEPTH: usize = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -167,8 +197,22 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(open @ (b'{' | b'[')) => {
+                self.depth += 1;
+                if self.depth > MAX_DEPTH {
+                    return Err(format!(
+                        "nesting deeper than {MAX_DEPTH} at byte {}",
+                        self.pos
+                    ));
+                }
+                let v = if open == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -281,7 +325,10 @@ impl<'a> Parser<'a> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is a &str, so code-point spans are valid UTF-8"),
+                    );
                 }
             }
         }
@@ -310,7 +357,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number token is ASCII digits/sign/dot/exponent only");
         if raw.parse::<f64>().is_err() {
             return Err(format!("bad number at byte {start}"));
         }

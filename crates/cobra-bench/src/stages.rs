@@ -64,15 +64,20 @@ const WIDTH: u64 = 0x1000;
 /// makes aliasing a compile-adjacent failure instead of a silent
 /// correlation.
 pub const STAGE_BLOCKS: &[StageBlock] = &[
+    // e1: grid cover sweep.
+    block("e1", "graphs", slot(1, 0)),
     // e2: multi-dimensional drift chain (Theorem 3's queueing system).
     block("e2", "step-stats", slot(2, 0)),
     block("e2", "emptying", slot(2, 1)), // arm = d * 1000 + i
     block("e2", "excursion", slot(2, 2)),
     // e3: conductance sweep.
     block("e3", "cover-cells", slot(3, 0)),
+    block("e3", "graphs", slot(3, 1)),
     // e4: expander cover + simple-walk contrast.
     block("e4", "rr-sweep", slot(4, 0)), // arm = degree d
     block("e4", "rw-contrast", slot(4, 1)),
+    block("e4", "graphs", slot(4, 2)), // arm = d * 100 + i
+    block("e4", "rw-graphs", slot(4, 3)),
     // e5: Walt dominance (Lemma 10).
     block("e5", "graphs", slot(5, 0)),
     block("e5", "cobra", slot(5, 1)),
@@ -90,6 +95,7 @@ pub const STAGE_BLOCKS: &[StageBlock] = &[
     // e8: lollipop worst case.
     block("e8", "cobra", slot(8, 0)),
     block("e8", "rw", slot(8, 1)),
+    block("e8", "bootstrap", slot(8, 2)),
     // e9: Matthews bound (Theorem 1).
     block("e9", "estimator-sanity", slot(9, 0)),
     block("e9", "graphs", slot(9, 1)),
@@ -102,10 +108,14 @@ pub const STAGE_BLOCKS: &[StageBlock] = &[
     block("e11", "push", slot(11, 1)),
     // e12: branching-factor ablation.
     block("e12", "cover", slot(12, 0)), // arm = c * 10 + i
+    block("e12", "graphs", slot(12, 1)),
     // e13: Walt ablation.
     block("e13", "ablation", slot(13, 0)), // arm = c * 100 + variant
+    block("e13", "graphs", slot(13, 1)),
     // e14: branching schedules.
     block("e14", "cover", slot(14, 0)), // arm = c * 10 + i
+    block("e14", "graphs", slot(14, 1)),
+    block("e14", "star-branching", slot(14, 2)), // arm = schedule index
     // e15: growth-phase decomposition.
     block("e15", "graphs", slot(15, 0)),
     block("e15", "growth", slot(15, 1)),
@@ -113,6 +123,9 @@ pub const STAGE_BLOCKS: &[StageBlock] = &[
     // e16: fault-model degradation (loss sweep + structured regimes).
     block("e16", "loss-sweep", slot(16, 0)), // arm = loss-level index
     block("e16", "regimes", slot(16, 1)),    // arm = regime index
+    block("e16", "graphs", slot(16, 2)),
+    // bench_implicit: implicit-graph allocation benchmark.
+    block("bench-implicit", "giant", slot(30, 0)),
 ];
 
 const fn block(binary: &'static str, stage: &'static str, base: u64) -> StageBlock {

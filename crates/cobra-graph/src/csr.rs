@@ -39,7 +39,10 @@ impl Graph {
                 reason: "CSR offsets must start with 0".into(),
             });
         }
-        if *offsets.last().unwrap() != neighbors.len() {
+        let last = *offsets
+            .last()
+            .expect("offsets verified non-empty by the check above");
+        if last != neighbors.len() {
             return Err(GraphError::InvalidParameter {
                 reason: "CSR offsets must end at neighbors.len()".into(),
             });

@@ -1,0 +1,391 @@
+//! Per-file analysis context shared by every rule: brace matching,
+//! `#[cfg(test)]` / `#[test]` region detection, suppression comments,
+//! and `// SAFETY:` attachment.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// Sentinel for "no matching bracket" in [`FileCtx::brace_match`].
+pub const NO_MATCH: usize = usize::MAX;
+
+/// Everything a rule needs to know about one source file.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// The comment side channel.
+    pub comments: Vec<Comment>,
+    /// Per-token flag: the token lives inside a `#[cfg(test)]` module or
+    /// a `#[test]` function body.
+    pub in_test: Vec<bool>,
+    /// For each `{`/`}` token index, the index of its partner (or
+    /// [`NO_MATCH`] when unbalanced).
+    pub brace_match: Vec<usize>,
+    /// Parsed `lint:allow` suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// One parsed `// lint:allow(rule, reason)` comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The free-text reason after the first comma (may be empty, which
+    /// the bad-suppression rule reports).
+    pub reason: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// Source lines this suppression covers: its own line span plus the
+    /// next line holding a code token.
+    pub covers: (u32, u32),
+}
+
+impl Suppression {
+    /// Whether a finding on `line` is covered.
+    pub fn covers_line(&self, line: u32) -> bool {
+        line >= self.covers.0 && line <= self.covers.1
+    }
+}
+
+impl FileCtx {
+    /// Build the context for one lexed file.
+    pub fn new(path: &str, lexed: Lexed) -> FileCtx {
+        let Lexed { toks, comments } = lexed;
+        let brace_match = match_braces(&toks);
+        let in_test = mark_test_regions(&toks, &brace_match);
+        let suppressions = parse_suppressions(&comments, &toks);
+        FileCtx {
+            path: path.to_string(),
+            toks,
+            comments,
+            in_test,
+            brace_match,
+            suppressions,
+        }
+    }
+
+    /// The next token index at or after `i` (skipping nothing — tokens
+    /// are already comment-free), or `None` at the end.
+    pub fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    /// Is token `i` an identifier with exactly this text?
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    /// Is token `i` a punct with exactly this text?
+    pub fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+    }
+
+    /// Whether an `unsafe` at token `i` carries a `SAFETY:` comment in
+    /// one of the accepted positions: the contiguous comment block
+    /// directly above, the same line, or the head of the block/body it
+    /// opens (before the first inner token).
+    pub fn has_safety_comment(&self, i: usize) -> bool {
+        let uline = self.toks[i].line;
+        // Same line (trailing or preceding comment on the unsafe line).
+        if self
+            .comments
+            .iter()
+            .any(|c| c.line <= uline && c.end_line >= uline && c.text.contains("SAFETY:"))
+        {
+            return true;
+        }
+        // Contiguous comment block directly above: walk upward line by
+        // line while each line is covered by a comment.
+        let mut want = uline.saturating_sub(1);
+        while want > 0 {
+            let Some(c) = self
+                .comments
+                .iter()
+                .find(|c| c.line <= want && c.end_line >= want)
+            else {
+                break;
+            };
+            if c.text.contains("SAFETY:") {
+                return true;
+            }
+            want = c.line.saturating_sub(1);
+        }
+        // Head of the opened block: find the `{` that follows (within a
+        // few tokens — `unsafe {`, `unsafe impl Trait for Type {`), then
+        // accept a SAFETY comment between it and the first inner token.
+        let open = (i + 1..self.toks.len().min(i + 24)).find(|&j| self.is_punct(j, "{"));
+        if let Some(open) = open {
+            let open_line = self.toks[open].line;
+            let inner_line = self.toks.get(open + 1).map(|t| t.line).unwrap_or(open_line);
+            if self
+                .comments
+                .iter()
+                .any(|c| c.line >= open_line && c.line <= inner_line && c.text.contains("SAFETY:"))
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Pair up `{`/`}` tokens with a stack scan.
+fn match_braces(toks: &[Tok]) -> Vec<usize> {
+    let mut out = vec![NO_MATCH; toks.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    out[open] = i;
+                    out[i] = open;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Does an attribute token span (the tokens between `#[` and `]`) mark
+/// test-only code? `#[test]` does; `#[cfg(test)]` and `#[cfg(all(test,
+/// …))]` do; `#[cfg(not(test))]` does not.
+fn attr_marks_test(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Mark every token inside a test-attributed `mod` or `fn` body.
+fn mark_test_regions(toks: &[Tok], brace_match: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Attribute start: `#` `[` (also matches inner `#![…]` via the
+        // `!`; those never mark tests so the extra scan is harmless).
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "!") {
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|t| t.text != "[") {
+            i += 1;
+            continue;
+        }
+        // Find the closing `]` (attributes nest brackets rarely; track
+        // depth to be safe).
+        let start = j + 1;
+        let mut depth = 1i32;
+        let mut end = start;
+        while end < toks.len() && depth > 0 {
+            match toks[end].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        let attr = &toks[start..end.saturating_sub(1)];
+        if !attr_marks_test(attr) {
+            i = end;
+            continue;
+        }
+        // Scan past any further attributes to the item keyword, then to
+        // its body `{ … }` (or bail at `;` — `#[cfg(test)] use …;`).
+        let mut k = end;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "#" => {
+                    // Skip the whole following attribute group.
+                    let mut d = 0i32;
+                    k += 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                ";" => break,
+                "{" => {
+                    let close = brace_match[k];
+                    if close != NO_MATCH {
+                        for flag in in_test.iter_mut().take(close + 1).skip(k) {
+                            *flag = true;
+                        }
+                    }
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        i = end;
+    }
+    in_test
+}
+
+/// Extract every `lint:allow(rule, reason)` from the comment stream and
+/// compute the lines each one covers.
+///
+/// The directive must be the *start* of the comment (after the `//` /
+/// `///` markers): prose that merely mentions the syntax — like this
+/// very doc comment — is not a suppression. Several directives may
+/// follow each other in one comment.
+fn parse_suppressions(comments: &[Comment], toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        while rest.starts_with("lint:allow(") {
+            rest = &rest["lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let inside = &rest[..close];
+            rest = &rest[close + 1..];
+            let (rule, reason) = match inside.split_once(',') {
+                Some((r, why)) => (r.trim(), why.trim()),
+                None => (inside.trim(), ""),
+            };
+            // Cover the comment's own span plus the next code line.
+            let next_code_line = toks
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.end_line)
+                .unwrap_or(c.end_line);
+            out.push(Suppression {
+                rule: rule.to_string(),
+                reason: reason.to_string(),
+                line: c.line,
+                covers: (c.line, next_code_line),
+            });
+            rest = rest.trim_start_matches([',', ';']).trim_start();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("crates/x/src/lib.rs", lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let c = ctx("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { helper(); }\n}");
+        let helper = c
+            .toks
+            .iter()
+            .position(|t| t.text == "helper")
+            .expect("helper token");
+        let live = c
+            .toks
+            .iter()
+            .position(|t| t.text == "live")
+            .expect("live token");
+        assert!(c.in_test[helper]);
+        assert!(!c.in_test[live]);
+    }
+
+    #[test]
+    fn test_fn_is_marked_but_cfg_not_test_is_not() {
+        let c = ctx(
+            "#[test]\nfn a() { x(); }\n#[cfg(not(test))]\nfn b() { y(); }\n#[cfg(all(test, unix))]\nfn d() { z(); }",
+        );
+        let pos = |name: &str| c.toks.iter().position(|t| t.text == name).expect("token");
+        assert!(c.in_test[pos("x")]);
+        assert!(!c.in_test[pos("y")]);
+        assert!(c.in_test[pos("z")]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_the_file() {
+        let c = ctx("#[cfg(test)]\nuse std::x;\nfn live() { body(); }");
+        let body = c
+            .toks
+            .iter()
+            .position(|t| t.text == "body")
+            .expect("body token");
+        assert!(!c.in_test[body]);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let c = ctx("// lint:allow(float-eq, exact zero guard)\nlet a = b == 0.0;\nlet c = 1;");
+        assert_eq!(c.suppressions.len(), 1);
+        let s = &c.suppressions[0];
+        assert_eq!(s.rule, "float-eq");
+        assert_eq!(s.reason, "exact zero guard");
+        assert!(s.covers_line(1));
+        assert!(s.covers_line(2));
+        assert!(!s.covers_line(3));
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let c = ctx("let a = b == 0.0; // lint:allow(float-eq, trailing form)\nlet c = 1;");
+        let s = &c.suppressions[0];
+        assert!(s.covers_line(1));
+    }
+
+    #[test]
+    fn missing_reason_is_preserved_as_empty() {
+        let c = ctx("// lint:allow(float-eq)\nlet a = 1;");
+        assert_eq!(c.suppressions[0].reason, "");
+    }
+
+    #[test]
+    fn safety_comment_positions() {
+        // Above.
+        let c = ctx("// SAFETY: fine\nunsafe { x() }");
+        let u = c.toks.iter().position(|t| t.text == "unsafe").expect("u");
+        assert!(c.has_safety_comment(u));
+        // Inside, before the first token.
+        let c = ctx("unsafe {\n  // SAFETY: fine\n  x()\n}");
+        let u = c.toks.iter().position(|t| t.text == "unsafe").expect("u");
+        assert!(c.has_safety_comment(u));
+        // Same line.
+        let c = ctx("unsafe { x() } // SAFETY: fine");
+        let u = c.toks.iter().position(|t| t.text == "unsafe").expect("u");
+        assert!(c.has_safety_comment(u));
+        // A block of comments above where only the top line says SAFETY.
+        let c = ctx("// SAFETY: top\n// continued prose\nunsafe { x() }");
+        let u = c.toks.iter().position(|t| t.text == "unsafe").expect("u");
+        assert!(c.has_safety_comment(u));
+        // Absent.
+        let c = ctx("fn f() { unsafe { x() } }");
+        let u = c.toks.iter().position(|t| t.text == "unsafe").expect("u");
+        assert!(!c.has_safety_comment(u));
+        // A SAFETY comment separated by a blank code line does not count.
+        let c = ctx("// SAFETY: far away\nlet y = 1;\nunsafe { x() }");
+        let u = c.toks.iter().position(|t| t.text == "unsafe").expect("u");
+        assert!(!c.has_safety_comment(u));
+    }
+}

@@ -1,0 +1,590 @@
+//! A hand-rolled Rust lexer: just enough of the language to drive
+//! token-pattern invariant rules.
+//!
+//! The lexer's contract is *conservative fidelity*: every rule in this
+//! crate matches sequences of real code tokens, so the lexer must never
+//! leak the inside of a string literal, comment, or char literal into
+//! the token stream (a rule fixture mentioning `fs::write` inside a
+//! string must not trip the atomic-artifacts rule). It handles the
+//! constructs that make Rust tricky to tokenize naively:
+//!
+//! * nested block comments (`/* /* */ */`);
+//! * raw strings with arbitrary hash fences (`r##"…"##`), byte strings,
+//!   and raw byte strings;
+//! * the lifetime/char-literal ambiguity (`'a` vs `'a'` vs `'\n'`);
+//! * raw identifiers (`r#type`);
+//! * numeric literals with underscores, radix prefixes, exponents, and
+//!   type suffixes — classified into [`TokKind::Int`] vs
+//!   [`TokKind::Float`] so the float-eq rule can anchor on them;
+//! * multi-character operators (`==`, `!=`, `<<`, `::`, …) grouped into
+//!   single punct tokens so rules can match them as units.
+//!
+//! Comments are not discarded: they come back in a side channel
+//! ([`Comment`]) because two rules live entirely in comments —
+//! `// SAFETY:` justifications and `// lint:allow(rule, reason)`
+//! suppressions.
+
+/// Token classification. Rules mostly match on [`TokKind::Ident`] text
+/// and [`TokKind::Punct`] text; literals exist so rules can anchor on
+/// them (float-eq) or skip them (everything else).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (including `'_`).
+    Lifetime,
+    /// An integer literal, including radix-prefixed forms.
+    Int,
+    /// A floating-point literal (has a fractional part, an exponent, or
+    /// an `f32`/`f64` suffix).
+    Float,
+    /// Any string-like literal: `"…"`, `r"…"`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// An operator or delimiter, multi-character forms pre-grouped.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column,
+/// both in bytes).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token's source text. For raw identifiers the `r#` prefix is
+    /// stripped so rules see the plain name.
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+/// One comment (line or block), with its line extent. Doc comments
+/// (`///`, `//!`) are included — a `SAFETY:` note in a doc comment
+/// still counts as a justification.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The output of [`lex`]: the token stream plus the comment side
+/// channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const MULTI_PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into tokens and comments. The lexer is total: malformed
+/// input (unterminated string, stray byte) never panics — it consumes
+/// what it can and moves on, because a linter must degrade gracefully
+/// on code that rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line starts (for column math).
+    line_start: usize,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.pos += 1;
+                    self.newline();
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.lifetime_or_char(),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    // Byte literal b'x'.
+                    let (line, col) = self.here();
+                    self.pos += 1;
+                    self.char_body();
+                    self.push_at(TokKind::Char, "b'…'", line, col);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    let (line, col) = self.here();
+                    self.pos += 1;
+                    self.string_body(line, col);
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_fence_at(2) => {
+                    let (line, col) = self.here();
+                    self.pos += 2;
+                    self.raw_string_body(line, col);
+                }
+                b'r' if self.raw_fence_at(1) => {
+                    let (line, col) = self.here();
+                    self.pos += 1;
+                    self.raw_string_body(line, col);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier r#type: strip the prefix so rules
+                    // see the plain name.
+                    let (line, col) = self.here();
+                    self.pos += 2;
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                        self.pos += 1;
+                    }
+                    let text = self.slice(start, self.pos);
+                    self.push_at(TokKind::Ident, &text, line, col);
+                }
+                b if is_ident_start(b) => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Is there a raw-string fence (zero or more `#` then `"`) starting
+    /// `off` bytes ahead? Distinguishes `r"…"`/`r##"…"##` from the raw
+    /// identifier `r#name`.
+    fn raw_fence_at(&self, off: usize) -> bool {
+        let mut k = off;
+        while self.peek(k) == Some(b'#') {
+            k += 1;
+        }
+        self.peek(k) == Some(b'"')
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.line_start = self.pos;
+    }
+
+    fn here(&self) -> (u32, u32) {
+        (self.line, (self.pos - self.line_start) as u32 + 1)
+    }
+
+    fn slice(&self, start: usize, end: usize) -> String {
+        String::from_utf8_lossy(&self.bytes[start..end]).into_owned()
+    }
+
+    fn push_at(&mut self, kind: TokKind, text: &str, line: u32, col: u32) {
+        self.out.toks.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.slice(start, self.pos),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'\n' {
+                self.pos += 1;
+                self.newline();
+            } else if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.slice(start, self.pos),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// A `"…"` string starting at the current `"`; emits one Str token.
+    fn string(&mut self) {
+        let (line, col) = self.here();
+        self.string_body(line, col);
+    }
+
+    /// Consume from the opening `"` through the closing `"`, honoring
+    /// backslash escapes and embedded newlines.
+    fn string_body(&mut self, line: u32, col: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => {
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.newline();
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push_at(TokKind::Str, "\"…\"", line, col);
+    }
+
+    /// Consume `#*"…"#*` (cursor at the first `#` or the `"`); the hash
+    /// fence length determines the terminator.
+    fn raw_string_body(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.pos += 1;
+                self.newline();
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                // A candidate terminator: needs `hashes` hashes after it.
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        self.pos += 1;
+                        continue 'scan;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push_at(TokKind::Str, "r\"…\"", line, col);
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal),
+    /// cursor on the `'`.
+    fn lifetime_or_char(&mut self) {
+        let (line, col) = self.here();
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.char_body();
+                self.push_at(TokKind::Char, "'…'", line, col);
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // `'x'` is a char; `'x` followed by anything else is a
+                // lifetime. Scan the ident run and check for a quote.
+                let mut end = self.pos + 2;
+                while self.bytes.get(end).copied().is_some_and(is_ident_continue) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    self.push_at(TokKind::Char, "'…'", line, col);
+                } else {
+                    let text = self.slice(self.pos, end);
+                    self.pos = end;
+                    self.push_at(TokKind::Lifetime, &text, line, col);
+                }
+            }
+            _ => {
+                // `'(' '` etc: a char literal of a single punct char.
+                self.char_body();
+                self.push_at(TokKind::Char, "'…'", line, col);
+            }
+        }
+    }
+
+    /// Consume a char/byte literal body, cursor on the opening `'`.
+    fn char_body(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\\' => self.pos += 2,
+                b'\n' => return, // malformed; don't eat the file
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = self.here();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let text = self.slice(start, self.pos);
+        self.push_at(TokKind::Ident, &text, line, col);
+    }
+
+    fn number(&mut self) {
+        let (line, col) = self.here();
+        let start = self.pos;
+        let mut float = false;
+        if self.bytes[self.pos] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            // A `.` continues the number only when it is not `..` (range)
+            // and not a method/field access like `1.max(2)`.
+            if self.peek(0) == Some(b'.')
+                && self.peek(1) != Some(b'.')
+                && !self.peek(1).is_some_and(is_ident_start)
+            {
+                float = true;
+                self.pos += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(0), Some(b'e' | b'E'))
+                && (self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                    || (matches!(self.peek(1), Some(b'+' | b'-'))
+                        && self.peek(2).is_some_and(|b| b.is_ascii_digit())))
+            {
+                float = true;
+                self.pos += 1;
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while self.peek(0).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            // Type suffix: `1f64` is a float, `1u64` an int.
+            let suffix_start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            let suffix = self.slice(suffix_start, self.pos);
+            if suffix.starts_with('f') {
+                float = true;
+            }
+        }
+        let text = self.slice(start, self.pos);
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push_at(kind, &text, line, col);
+    }
+
+    fn punct(&mut self) {
+        let (line, col) = self.here();
+        let rest = &self.bytes[self.pos..];
+        for m in MULTI_PUNCTS {
+            if rest.starts_with(m.as_bytes()) {
+                self.pos += m.len();
+                self.push_at(TokKind::Punct, m, line, col);
+                return;
+            }
+        }
+        // Single byte (or, for a stray non-ASCII byte, just consume the
+        // whole UTF-8 scalar to keep columns sane).
+        let mut end = self.pos + 1;
+        while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+            end += 1;
+        }
+        let text = self.slice(self.pos, end);
+        self.pos = end;
+        self.push_at(TokKind::Punct, &text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let lexed = lex("let a = \"fs::write // not code\"; // fs::write\n/* fs::write */");
+        let idents: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "a"]);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.toks[0].text, "fn");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lexed = lex(r####"let s = r##"quote " and "# inside"##; y"####);
+        let last = lexed.toks.last().expect("tokens");
+        assert_eq!(last.text, "y");
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let lexed = lex(r##"let a = b"bytes"; let b = br#"raw"# ; end"##);
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+        assert_eq!(lexed.toks.last().map(|t| t.text.as_str()), Some("end"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '_'; }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn number_classification() {
+        let lexed = lex("1 1.5 1e3 1_000 0xFF 2f64 3usize 1..2 1.max(2) 7.");
+        let kinds: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.as_str(), t.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                ("1", TokKind::Int),
+                ("1.5", TokKind::Float),
+                ("1e3", TokKind::Float),
+                ("1_000", TokKind::Int),
+                ("0xFF", TokKind::Int),
+                ("2f64", TokKind::Float),
+                ("3usize", TokKind::Int),
+                ("1", TokKind::Int),
+                ("2", TokKind::Int),
+                ("1", TokKind::Int),
+                ("2", TokKind::Int),
+                ("7.", TokKind::Float),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_puncts_group() {
+        assert_eq!(
+            texts("a == b != c << d :: e .. f ..= g"),
+            ["a", "==", "b", "!=", "c", "<<", "d", "::", "e", "..", "f", "..=", "g"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lose_prefix() {
+        assert_eq!(texts("let r#type = 1;"), ["let", "type", "=", "1", ";"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_line_accurate() {
+        let lexed = lex("a\n  b\n/* c\nd */ e");
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+        assert_eq!(lexed.toks[2].text, "e");
+        assert_eq!(lexed.toks[2].line, 4);
+        let c = &lexed.comments[0];
+        assert_eq!((c.line, c.end_line), (3, 4));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("let c = '");
+        lex("r#\"unterminated");
+    }
+}

@@ -1,0 +1,180 @@
+//! `cobra-lint`: the workspace's first-party invariant linter.
+//!
+//! Every guarantee this reproduction rests on — bit-for-bit determinism
+//! across engine routes, the stage-seed registry's disjointness proof,
+//! the atomic-artifact crash-recovery contract — is a *source-level*
+//! property. Runtime tests catch violations late and only where a test
+//! happens to look; this crate enforces them statically, as named,
+//! suppressible rules over a hand-rolled Rust lexer (the container has
+//! no registry access, so no `syn` — same spirit as cobra-bench's
+//! hand-rolled `json.rs`).
+//!
+//! ## Rules
+//!
+//! See [`rules::RULES`] for the registry. Scoping — which paths each
+//! rule applies to — is part of the contract and lives in [`config`].
+//!
+//! ## Suppression
+//!
+//! A finding is silenced by a comment on the same line or the line
+//! above:
+//!
+//! ```text
+//! // lint:allow(float-eq, exact-zero variance guard before division)
+//! let r = if syy == 0.0 { … };
+//! ```
+//!
+//! The reason is mandatory; `lint:allow` with an unknown rule or an
+//! empty reason is itself a finding (`bad-suppression`). Suppressed
+//! findings stay visible in the JSON report so suppression debt is
+//! auditable.
+//!
+//! ## Entry points
+//!
+//! * [`lint_source`] — lint one file's text under a workspace-relative
+//!   path (what the fixture tests drive);
+//! * [`lint_workspace`] — walk the workspace and lint every first-party
+//!   file (what `cobra-lint --workspace` and CI drive).
+
+pub mod config;
+pub mod context;
+pub mod findings;
+pub mod fsio;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use config::PathScope;
+use context::FileCtx;
+use findings::{Finding, Report};
+
+/// Lint one file's source text. `path` must be the workspace-relative
+/// `/`-separated path — rule scoping keys on it.
+pub fn lint_source(path: &str, src: &str) -> Report {
+    let scope = PathScope::of(path);
+    let ctx = FileCtx::new(path, lexer::lex(src));
+    let mut raw: Vec<Finding> = Vec::new();
+
+    if scope.check_seed_discipline() {
+        rules::seed_discipline(&ctx, &mut raw);
+    }
+    if scope.check_ordered_iteration() {
+        rules::ordered_iteration(&ctx, &mut raw);
+    }
+    if scope.check_atomic_artifacts() {
+        rules::atomic_artifacts(&ctx, &mut raw);
+    }
+    if scope.check_no_wall_clock() {
+        rules::no_wall_clock(&ctx, &mut raw);
+    }
+    if scope.check_unsafe_safety() {
+        rules::unsafe_safety(&ctx, &mut raw);
+    }
+    if scope.check_no_unwrap() {
+        rules::no_unwrap(&ctx, &mut raw);
+    }
+    if scope.check_float_eq() {
+        rules::float_eq(&ctx, &mut raw);
+    }
+
+    // The suppressions themselves are linted: unknown rule names and
+    // missing reasons defeat the audit trail.
+    for s in &ctx.suppressions {
+        if !rules::is_known_rule(&s.rule) {
+            raw.push(Finding {
+                rule: "bad-suppression",
+                path: path.to_string(),
+                line: s.line,
+                col: 1,
+                message: format!("lint:allow names unknown rule `{}`", s.rule),
+            });
+        } else if s.reason.is_empty() {
+            raw.push(Finding {
+                rule: "bad-suppression",
+                path: path.to_string(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "lint:allow({}) has no reason — write why the violation is sound",
+                    s.rule
+                ),
+            });
+        }
+    }
+
+    let mut report = Report {
+        files: 1,
+        ..Report::default()
+    };
+    for f in raw {
+        let allow = ctx
+            .suppressions
+            .iter()
+            .find(|s| s.rule == f.rule && !s.reason.is_empty() && s.covers_line(f.line));
+        match allow {
+            Some(s) => report.suppressed.push((f, s.reason.clone())),
+            None => report.findings.push(f),
+        }
+    }
+    report
+}
+
+/// Lint every first-party file under the workspace root. I/O errors on
+/// individual files become findings rather than aborting the run.
+pub fn lint_workspace(root: &std::path::Path) -> std::io::Result<Report> {
+    let files = workspace::first_party_files(root)?;
+    let mut report = Report::default();
+    for rel in &files {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => report.merge(lint_source(rel, &src)),
+            Err(e) => report.findings.push(Finding {
+                rule: "bad-suppression",
+                path: rel.clone(),
+                line: 0,
+                col: 0,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_moves_finding_to_suppressed() {
+        let src = "fn f(a: f64) -> bool {\n    // lint:allow(float-eq, pinned sentinel)\n    a == 1.0\n}\n";
+        let r = lint_source("crates/cobra-analysis/src/x.rs", src);
+        assert_eq!(r.findings.len(), 0, "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].1, "pinned sentinel");
+    }
+
+    #[test]
+    fn suppression_without_reason_does_not_silence_and_is_reported() {
+        let src = "fn f(a: f64) -> bool {\n    // lint:allow(float-eq)\n    a == 1.0\n}\n";
+        let r = lint_source("crates/cobra-analysis/src/x.rs", src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"float-eq"), "{rules:?}");
+        assert!(rules.contains(&"bad-suppression"), "{rules:?}");
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_reported() {
+        let src = "// lint:allow(no-such-rule, because)\nfn f() {}\n";
+        let r = lint_source("crates/cobra-core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_clean() {
+        // Wall-clock and unwrap are fine in a bench binary; seeds are not.
+        let src = "fn main() { let t = Instant::now(); x().unwrap(); }";
+        let r = lint_source("crates/cobra-bench/src/bin/bench_x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

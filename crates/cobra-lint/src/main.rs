@@ -1,0 +1,118 @@
+//! CLI for the first-party invariant linter.
+//!
+//! ```text
+//! cargo run -p cobra-lint -- --workspace            # report
+//! cargo run -p cobra-lint -- --workspace --deny     # CI gate (exit 1 on findings)
+//! cargo run -p cobra-lint -- --workspace --json LINT_findings.json
+//! cargo run -p cobra-lint -- crates/cobra-core/src/lanes.rs
+//! cobra-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean (or report-only), 1 findings under `--deny`,
+//! 2 usage/environment error.
+
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cobra-lint [--workspace] [--deny] [--json PATH] [--root DIR] [--list-rules] [FILES…]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workspace_mode = false;
+    let mut deny = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut root_override: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace_mode = true,
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--root" => match args.next() {
+                Some(p) => root_override = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--list-rules" => {
+                for r in cobra_lint::rules::RULES {
+                    println!("{:22} {}", r.name, r.summary);
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !workspace_mode && files.is_empty() {
+        usage();
+    }
+
+    let root = root_override
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            cobra_lint::workspace::find_workspace_root(&cwd)
+        })
+        .unwrap_or_else(|| {
+            eprintln!("cobra-lint: no workspace root found (no Cargo.toml with [workspace] above cwd; use --root)");
+            std::process::exit(2);
+        });
+
+    let mut report = if workspace_mode {
+        match cobra_lint::lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cobra-lint: workspace walk failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        cobra_lint::findings::Report::default()
+    };
+
+    for f in &files {
+        // Explicit files are linted under their workspace-relative form
+        // so scoping applies the same way as in --workspace mode.
+        let abs = root.join(f);
+        let rel = f.trim_start_matches("./").to_string();
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => report.merge(cobra_lint::lint_source(&rel, &src)),
+            Err(e) => {
+                eprintln!("cobra-lint: cannot read {rel}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    report.sort();
+
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    if let Some(path) = &json_out {
+        if let Err(e) = cobra_lint::fsio::write_atomic_str(path, &report.to_json()) {
+            eprintln!("cobra-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "cobra-lint: {} finding{} ({} suppressed) across {} file{}",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.suppressed.len(),
+        report.files,
+        if report.files == 1 { "" } else { "s" },
+    );
+    if deny && !report.findings.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a justified raw write. Linted under a virtual
+// crates/cobra-bench/src/ path.
+
+use std::fs;
+
+fn write_pid_file(path: &std::path::Path) -> std::io::Result<()> {
+    // lint:allow(atomic-artifacts, pid file is advisory and rewritten on every start; truncation is harmless)
+    fs::write(path, std::process::id().to_string())
+}

@@ -1,0 +1,7 @@
+// Fixture: prose that merely *mentions* the directive syntax — doc
+// text explaining `lint:allow(rule, reason)` must not be parsed as a
+// suppression because it does not start the comment.
+
+/// Findings are silenced with `// lint:allow(rule, reason)` placed on
+/// the line above the flagged code.
+fn documented() {}

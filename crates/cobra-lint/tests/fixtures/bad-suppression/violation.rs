@@ -1,0 +1,15 @@
+// Fixture: malformed suppressions — an unknown rule name and a
+// directive with no reason. Both are findings in their own right so
+// suppressions cannot silently rot.
+
+use std::fs;
+
+fn write_note(path: &std::path::Path) -> std::io::Result<()> {
+    // lint:allow(atomic-artifact, typo in the rule name leaves the real finding live)
+    fs::write(path, "x")
+}
+
+fn write_other(path: &std::path::Path) -> std::io::Result<()> {
+    // lint:allow(atomic-artifacts)
+    fs::write(path, "y")
+}

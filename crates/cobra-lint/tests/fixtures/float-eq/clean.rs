@@ -1,0 +1,16 @@
+// Fixture: tolerance-based comparison and integer equality. Linted
+// under a virtual crates/cobra-analysis/src/ path.
+
+fn converged(prev: f64, next: f64, tol: f64) -> bool {
+    (prev - next).abs() <= tol
+}
+
+fn same_count(a: u64, b: u64) -> bool {
+    // Integer equality is exact; the rule only watches floats.
+    a == b
+}
+
+fn ordering(a: f64, b: f64) -> std::cmp::Ordering {
+    // total_cmp is the sanctioned way to compare floats exactly.
+    a.total_cmp(&b)
+}

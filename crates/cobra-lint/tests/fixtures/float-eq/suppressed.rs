@@ -1,0 +1,11 @@
+// Fixture: a justified exact comparison — guarding a division by a
+// value that is exactly zero only when every input was identical.
+// Linted under a virtual crates/cobra-analysis/src/ path.
+
+fn safe_ratio(num: f64, denom: f64) -> f64 {
+    // lint:allow(float-eq, exact zero test guards division; any nonzero denom however tiny is arithmetically valid)
+    if denom == 0.0 {
+        return 0.0;
+    }
+    num / denom
+}

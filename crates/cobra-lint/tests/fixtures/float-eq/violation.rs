@@ -1,0 +1,15 @@
+// Fixture: exact float comparison in stats code — accumulation order
+// and FMA contraction make == on computed values meaningless. Linted
+// under a virtual crates/cobra-analysis/src/ path.
+
+fn converged(resid: f64) -> bool {
+    resid == 0.0
+}
+
+fn is_unit_slope(slope: f64) -> bool {
+    slope != 1.0
+}
+
+fn half_is_exact(n: u32) -> bool {
+    n as f64 == (n / 2) as f64 * 2.0
+}

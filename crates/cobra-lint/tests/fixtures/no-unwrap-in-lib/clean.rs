@@ -1,0 +1,16 @@
+// Fixture: the sanctioned alternatives — propagate with ?, default,
+// or expect with a message that names the violated invariant. Linted
+// under a virtual crates/cobra-graph/src/ path.
+
+fn parse_degree(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or("")
+}
+
+fn checked_half(n: u32) -> u32 {
+    n.checked_div(2)
+        .expect("divisor is the constant 2, division cannot fail")
+}

@@ -1,0 +1,9 @@
+// Fixture: an unwrap kept deliberately. Linted under a virtual
+// crates/cobra-graph/src/ path.
+
+use std::collections::BTreeMap;
+
+fn max_key(m: &BTreeMap<u32, u64>) -> u32 {
+    // lint:allow(no-unwrap-in-lib, caller guarantees the map is non-empty and the adjacent branch already returned on empty)
+    *m.keys().next_back().unwrap()
+}

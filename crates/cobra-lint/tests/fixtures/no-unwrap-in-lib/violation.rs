@@ -1,0 +1,10 @@
+// Fixture: bare unwraps in library code — panics with no message at
+// the call site. Linted under a virtual crates/cobra-graph/src/ path.
+
+fn parse_degree(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap()
+}

@@ -1,0 +1,14 @@
+// Fixture: deterministic time — logical rounds and Duration values
+// passed in from outside are fine; only *reading* the clock is banned.
+// Linted under a virtual crates/cobra-core/src/ path.
+
+use std::time::Duration;
+
+fn rounds_until(budget: u32, per_round: u32) -> u32 {
+    budget / per_round.max(1)
+}
+
+fn format_budget(d: Duration) -> String {
+    // Duration arithmetic on caller-provided values involves no clock.
+    format!("{:.1}s", d.as_secs_f64())
+}

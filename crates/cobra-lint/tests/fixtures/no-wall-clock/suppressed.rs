@@ -1,0 +1,9 @@
+// Fixture: a justified clock read in an outcome-affecting crate.
+// Linted under a virtual crates/cobra-core/src/ path.
+
+use std::time::Instant;
+
+fn coarse_progress_heartbeat() -> Instant {
+    // lint:allow(no-wall-clock, heartbeat only feeds a progress log line and never reaches recorded outcomes)
+    Instant::now()
+}

@@ -1,0 +1,17 @@
+// Fixture: wall-clock reads in an outcome-affecting crate — results
+// must be a function of seeds alone. Linted under a virtual
+// crates/cobra-core/src/ path.
+
+use std::time::{Instant, SystemTime};
+
+fn step_with_deadline(budget_ms: u128) -> bool {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis() < budget_ms
+}
+
+fn stamp() -> u64 {
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

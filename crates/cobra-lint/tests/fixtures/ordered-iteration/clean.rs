@@ -1,0 +1,33 @@
+// Fixture: the sanctioned shapes — membership queries, sorted
+// iteration (same statement or collect-then-sort), and BTree
+// containers. Linted under a virtual crates/cobra-core/src/ path.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn membership_is_fine(seen: &HashSet<u32>, v: u32) -> bool {
+    // contains/insert/get never observe iteration order.
+    seen.contains(&v)
+}
+
+fn sorted_in_chain(weights: &HashMap<u32, f64>) -> Vec<u32> {
+    // Iteration is immediately re-ordered in the same chain.
+    let mut keys: Vec<u32> = weights.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn collect_then_sort(seen: &HashSet<u32>) -> Vec<u32> {
+    // The two-statement idiom: collect, then sort before use.
+    let mut out: Vec<u32> = seen.iter().copied().collect();
+    out.sort();
+    out
+}
+
+fn btree_is_ordered(ranks: &BTreeMap<u32, u64>) -> u64 {
+    // BTreeMap iterates in key order — deterministic by construction.
+    let mut acc = 0;
+    for (_, r) in ranks.iter() {
+        acc += r;
+    }
+    acc
+}

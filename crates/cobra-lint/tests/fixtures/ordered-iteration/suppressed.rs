@@ -1,0 +1,13 @@
+// Fixture: order-insensitive aggregation justified inline. Linted
+// under a virtual crates/cobra-core/src/ path.
+
+use std::collections::HashMap;
+
+fn total(counts: &HashMap<u32, u64>) -> u64 {
+    let mut acc = 0u64;
+    // lint:allow(ordered-iteration, integer sum is commutative so visit order cannot affect the result)
+    for c in counts.values() {
+        acc += c;
+    }
+    acc
+}

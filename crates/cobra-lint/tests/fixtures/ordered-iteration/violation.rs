@@ -1,0 +1,29 @@
+// Fixture: hash-order iteration in engine code — the per-trial outcome
+// would depend on the allocator's bucket layout. Linted under a virtual
+// crates/cobra-core/src/ path.
+
+use std::collections::{HashMap, HashSet};
+
+fn frontier_order(members: &HashSet<u32>) -> Vec<u32> {
+    let mut pending: HashSet<u32> = HashSet::new();
+    pending.insert(1);
+    // A for-loop straight over the set: arbitrary order.
+    let mut out = Vec::new();
+    for v in &pending {
+        out.push(*v);
+    }
+    // Method-chain iteration without a downstream sort.
+    let doubled: Vec<u32> = members.iter().map(|v| v * 2).collect();
+    out.extend(doubled);
+    out
+}
+
+fn tally(counts: HashMap<u32, u64>) -> u64 {
+    // values() is just as order-sensitive when the fold is not
+    // commutative in floating point — flagged the same way.
+    let mut acc = 0u64;
+    for c in counts.values() {
+        acc = acc.rotate_left(1) ^ c;
+    }
+    acc
+}

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned derivations — everything goes through the
+// stage registry or SeedSequence, and non-seed arithmetic stays
+// untouched. Linted under a virtual crates/cobra-bench/src/bin/ path.
+
+fn main() {
+    let cfg = Config::from_env();
+    // Registered stage derivation: the only blessed path for stages.
+    let s0 = stage_seed(cfg.seed, "e8", "bootstrap", 0);
+    // SeedSequence children are independently mixed — also fine.
+    let seq = SeedSequence::new(cfg.seed).child(3);
+    let s1 = seq.seed_at(0);
+    // Plain uses of the seed: passing it through is not arithmetic.
+    let orch = Orchestrator::for_run(spec, &cfg);
+    let out = orch.cover_cell("cell", 1.0, &g, &p, 0, 1000, s0);
+    // Arithmetic on non-seed values is out of the rule's reach.
+    let budget = cfg.scale * 3 + 100;
+    // Closure parameters named like seeds are bindings, not arithmetic.
+    let f = |seed| stage_seed(seed, "e8", "cobra", 1);
+    let _ = (s1, out, budget, f(cfg.seed));
+}

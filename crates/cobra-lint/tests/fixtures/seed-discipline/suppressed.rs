@@ -1,0 +1,10 @@
+// Fixture: a violating derivation silenced by an inline allow with a
+// written reason. Linted under a virtual crates/cobra-bench/src/bin/
+// path.
+
+fn main() {
+    let cfg = Config::from_env();
+    // lint:allow(seed-discipline, frozen legacy baseline must replay the historical pre-registry stream)
+    let legacy = cfg.seed ^ 0xBEEF;
+    let _ = legacy;
+}

@@ -1,0 +1,19 @@
+// Fixture: the exact ad-hoc seed forms the PR-5 registry conversion was
+// supposed to eliminate, including the e8 stray this rule was built to
+// catch (`cfg.seed ^ 0xE8`). Linted under a virtual
+// crates/cobra-bench/src/bin/ path.
+
+fn main() {
+    let cfg = Config::from_env();
+    // The escaped e8 form: XOR offset feeding an RNG directly.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE8);
+    // Additive offset: aliases once a sweep grows past the constant.
+    let s1 = cfg.seed + 1000;
+    // wrapping_add offset, the most common pre-registry idiom.
+    let s2 = cfg.seed.wrapping_add(4242);
+    // Shifted-index XOR for per-cell graph seeds.
+    let g = build(cfg.scale, cfg.seed ^ ((3u64) << 12));
+    // Operator on the left of the seed.
+    let s3 = 7 ^ cfg.seed;
+    let _ = (rng, s1, s2, g, s3);
+}

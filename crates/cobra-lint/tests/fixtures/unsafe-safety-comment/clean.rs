@@ -1,0 +1,36 @@
+// Fixture: all three accepted SAFETY: placements — directly above,
+// same line, and head-of-block — plus an `unsafe fn` signature, which
+// carries its contract in docs rather than a block comment.
+
+struct RawView {
+    ptr: *const u64,
+    len: usize,
+}
+
+fn read_first(v: &RawView) -> u64 {
+    // SAFETY: RawView is only constructed from a live, non-empty
+    // slice, so ptr points at least one readable u64.
+    unsafe { *v.ptr }
+}
+
+fn read_last(v: &RawView) -> u64 {
+    unsafe { *v.ptr.add(v.len - 1) } // SAFETY: len >= 1 by construction
+}
+
+fn read_mid(v: &RawView) -> u64 {
+    unsafe {
+        // SAFETY: len/2 < len for any non-empty view.
+        *v.ptr.add(v.len / 2)
+    }
+}
+
+// SAFETY: the raw pointer is never aliased mutably; sharing across
+// threads only performs reads.
+unsafe impl Sync for RawView {}
+
+/// # Safety
+/// `ptr` must point at a live u64.
+unsafe fn deref(ptr: *const u64) -> u64 {
+    // SAFETY: guaranteed by this function's own contract.
+    unsafe { *ptr }
+}

@@ -1,0 +1,7 @@
+// Fixture: suppressing the rule instead of writing SAFETY: — legal
+// but expected to be rare; the reason must still argue soundness.
+
+fn transmute_bits(x: u64) -> f64 {
+    // lint:allow(unsafe-safety-comment, bit-pattern cast mirrors f64::from_bits and is documented at the call site)
+    unsafe { std::mem::transmute::<u64, f64>(x) }
+}

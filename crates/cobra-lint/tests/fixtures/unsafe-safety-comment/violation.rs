@@ -1,0 +1,14 @@
+// Fixture: unsafe without justification — an unsafe block and an
+// unsafe impl, neither carrying a SAFETY: comment. Linted under a
+// virtual crates/cobra-core/src/ path.
+
+struct RawView {
+    ptr: *const u64,
+    len: usize,
+}
+
+fn read_first(v: &RawView) -> u64 {
+    unsafe { *v.ptr }
+}
+
+unsafe impl Send for RawView {}

@@ -1,0 +1,32 @@
+//! The workspace itself lints clean: `cargo test` re-runs the full
+//! `--workspace` analysis, so re-introducing an ad-hoc seed derivation,
+//! a raw `fs::write`, or an unjustified `unsafe` fails the default test
+//! tier — not just the dedicated CI lint job.
+
+use cobra_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/cobra-lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = lint_workspace(&root).expect("workspace walk must succeed");
+    assert!(
+        report.files > 0,
+        "workspace walk found no Rust files — wrong root?"
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        rendered.join("\n")
+    );
+}

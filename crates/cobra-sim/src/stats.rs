@@ -212,8 +212,9 @@ impl Summary {
     /// The sample values in ascending order.
     fn sorted_values(&self) -> Vec<f64> {
         let mut sorted = self.values.clone();
-        // Values are asserted finite on push, so total order exists.
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Values are asserted finite on push, so total_cmp agrees with
+        // the numeric order.
+        sorted.sort_by(f64::total_cmp);
         sorted
     }
 

@@ -29,23 +29,32 @@ struct ByteCountingAllocator;
 
 static BYTES_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to the System allocator — every method
+// forwards its arguments unchanged, so System's GlobalAlloc contract
+// (layout validity, pointer provenance) is preserved verbatim; the
+// atomic counter bump has no effect on allocation behavior.
 unsafe impl GlobalAlloc for ByteCountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         BYTES_ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         BYTES_ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract for `layout`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         BYTES_ALLOCATED.fetch_add(new_size, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` come straight from the
+        // caller, who upholds GlobalAlloc's realloc contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by the matching System alloc above.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
