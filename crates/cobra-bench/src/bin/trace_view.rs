@@ -1,0 +1,309 @@
+//! Inspect a `cobra-obs/trace-v1` JSONL document.
+//!
+//! ```text
+//! trace_view <trace.jsonl>           # summarize: histograms + waterfall
+//! trace_view <trace.jsonl> --check   # validate only (CI trace-smoke)
+//! ```
+//!
+//! The summary shows, from probe events: a trial-length (rounds)
+//! histogram, mean draws per round, and the frontier-density curve
+//! (mean frontier occupancy by round index); and from harness spans:
+//! a waterfall of the orchestrator's cell/batch/retry timing.
+
+use cobra_bench::Json;
+use std::collections::BTreeMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_view: {msg}");
+    std::process::exit(1);
+}
+
+/// One parsed span line.
+#[derive(Debug)]
+struct Span {
+    kind: String,
+    name: String,
+    start_ms: u64,
+    end_ms: u64,
+}
+
+/// Everything a summary needs, accumulated in one pass over the lines.
+#[derive(Debug, Default)]
+struct TraceStats {
+    events: usize,
+    dropped: u64,
+    /// Rounds per completed/censored trial, from `trial_end`.
+    trial_rounds: Vec<u64>,
+    /// (round index → (frontier sum, draws sum, samples)).
+    per_round: BTreeMap<u64, (u64, u64, u64)>,
+    /// Fault totals by kind string.
+    faults: BTreeMap<String, u64>,
+    spans: Vec<Span>,
+}
+
+/// Required u64 field of an event line; errors name the line.
+fn req_u64(ev: &Json, key: &str, lineno: usize) -> Result<u64, String> {
+    ev.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("line {lineno}: missing or non-integer field {key:?}"))
+}
+
+fn req_str<'a>(ev: &'a Json, key: &str, lineno: usize) -> Result<&'a str, String> {
+    ev.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("line {lineno}: missing or non-string field {key:?}"))
+}
+
+/// Parse and validate the whole document. Returns the accumulated
+/// stats or the first validation error.
+fn read_trace(text: &str) -> Result<TraceStats, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace (no header line)")?;
+    let header = Json::parse(header).map_err(|e| format!("line 1 (header): {e}"))?;
+    let schema = req_str(&header, "schema", 1)?;
+    if schema != cobra_obs::TRACE_SCHEMA {
+        return Err(format!(
+            "unsupported trace schema {schema:?} (expected {:?})",
+            cobra_obs::TRACE_SCHEMA
+        ));
+    }
+    let declared = req_u64(&header, "events", 1)?;
+    let mut stats = TraceStats {
+        dropped: req_u64(&header, "dropped", 1)?,
+        ..TraceStats::default()
+    };
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: blank line inside JSONL body"));
+        }
+        let ev = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        stats.events += 1;
+        match req_str(&ev, "ev", lineno)? {
+            "trial_begin" => {
+                req_u64(&ev, "trial", lineno)?;
+            }
+            "round" => {
+                let round = req_u64(&ev, "round", lineno)?;
+                let frontier = req_u64(&ev, "frontier", lineno)?;
+                let draws = req_u64(&ev, "draws", lineno)?;
+                req_u64(&ev, "merged", lineno)?;
+                let slot = stats.per_round.entry(round).or_insert((0, 0, 0));
+                slot.0 += frontier;
+                slot.1 += draws;
+                slot.2 += 1;
+            }
+            "coverage" => {
+                req_u64(&ev, "newly", lineno)?;
+                req_u64(&ev, "total", lineno)?;
+            }
+            "fault" => {
+                let kind = req_str(&ev, "kind", lineno)?.to_string();
+                let count = req_u64(&ev, "count", lineno)?;
+                *stats.faults.entry(kind).or_insert(0) += count;
+            }
+            "trial_end" => {
+                let steps = req_u64(&ev, "steps", lineno)?;
+                ev.get("completed")
+                    .and_then(|v| v.as_bool())
+                    .ok_or_else(|| format!("line {lineno}: missing boolean \"completed\""))?;
+                stats.trial_rounds.push(steps);
+            }
+            "span" => {
+                let start_ms = req_u64(&ev, "start_ms", lineno)?;
+                let end_ms = req_u64(&ev, "end_ms", lineno)?;
+                if end_ms < start_ms {
+                    return Err(format!("line {lineno}: span ends before it starts"));
+                }
+                stats.spans.push(Span {
+                    kind: req_str(&ev, "kind", lineno)?.to_string(),
+                    name: req_str(&ev, "name", lineno)?.to_string(),
+                    start_ms,
+                    end_ms,
+                });
+            }
+            other => return Err(format!("line {lineno}: unknown event type {other:?}")),
+        }
+    }
+    if stats.events as u64 != declared {
+        return Err(format!(
+            "header declares {declared} events but the body has {}",
+            stats.events
+        ));
+    }
+    Ok(stats)
+}
+
+/// Fixed-width histogram of trial lengths (rounds to completion).
+fn print_rounds_histogram(rounds: &[u64]) {
+    let (min, max) = (*rounds.iter().min().unwrap(), *rounds.iter().max().unwrap());
+    let buckets = 8u64.min(max - min + 1);
+    let width = (max - min + 1).div_ceil(buckets);
+    let mut counts = vec![0usize; buckets as usize];
+    for &r in rounds {
+        counts[((r - min) / width) as usize] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("rounds histogram ({} trials):", rounds.len());
+    for (b, &count) in counts.iter().enumerate() {
+        let lo = min + b as u64 * width;
+        let hi = (lo + width - 1).min(max);
+        let bar = "#".repeat((count * 40).div_ceil(peak));
+        println!("  {lo:>6}-{hi:<6} {count:>6} {bar}");
+    }
+}
+
+/// Mean frontier occupancy and draws by round index.
+fn print_round_curves(per_round: &BTreeMap<u64, (u64, u64, u64)>) {
+    let total_draws: u64 = per_round.values().map(|v| v.1).sum();
+    let total_rounds: u64 = per_round.values().map(|v| v.2).sum();
+    println!(
+        "draws/round: {:.2} mean over {} observed rounds",
+        total_draws as f64 / total_rounds.max(1) as f64,
+        total_rounds
+    );
+    println!("frontier-density curve (mean frontier by round):");
+    let peak = per_round
+        .values()
+        .map(|(f, _, n)| f / n.max(&1))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    // Sample at most 16 rows evenly so deep traces stay readable.
+    let keys: Vec<u64> = per_round.keys().copied().collect();
+    let step = keys.len().div_ceil(16).max(1);
+    for chunk in keys.chunks(step) {
+        let round = chunk[0];
+        let (f, _, n) = per_round[&round];
+        let mean = f as f64 / n.max(1) as f64;
+        let bar = "*".repeat(((mean * 40.0) / peak as f64).round() as usize);
+        println!("  round {round:>6}: {mean:>10.2} {bar}");
+    }
+}
+
+/// ASCII waterfall of the harness spans, in start order.
+fn print_waterfall(spans: &[Span]) {
+    let t0 = spans.iter().map(|s| s.start_ms).min().unwrap_or(0);
+    let t1 = spans
+        .iter()
+        .map(|s| s.end_ms)
+        .max()
+        .unwrap_or(1)
+        .max(t0 + 1);
+    let scale = (t1 - t0) as f64;
+    println!(
+        "span waterfall ({} spans, {} ms total):",
+        spans.len(),
+        t1 - t0
+    );
+    let mut order: Vec<&Span> = spans.iter().collect();
+    order.sort_by_key(|s| (s.start_ms, s.end_ms));
+    for s in order {
+        let lead = (((s.start_ms - t0) as f64 / scale) * 48.0).floor() as usize;
+        let len = ((((s.end_ms - s.start_ms) as f64) / scale) * 48.0).ceil() as usize;
+        println!(
+            "  [{}{}{}] {:>6}ms {:<6} {}",
+            " ".repeat(lead),
+            "=".repeat(len.max(1)),
+            " ".repeat(48usize.saturating_sub(lead + len.max(1))),
+            s.end_ms - s.start_ms,
+            s.kind,
+            s.name
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut check = false;
+    for a in &args {
+        match a.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: trace_view <trace.jsonl> [--check]");
+                std::process::exit(2);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("usage: trace_view <trace.jsonl> [--check]"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let stats = read_trace(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    if check {
+        println!(
+            "ok: {} event(s), {} dropped, {} span(s)",
+            stats.events,
+            stats.dropped,
+            stats.spans.len()
+        );
+        return;
+    }
+    println!(
+        "{path}: {} event(s), {} dropped",
+        stats.events, stats.dropped
+    );
+    if !stats.trial_rounds.is_empty() {
+        print_rounds_histogram(&stats.trial_rounds);
+    }
+    if !stats.per_round.is_empty() {
+        print_round_curves(&stats.per_round);
+    }
+    if !stats.faults.is_empty() {
+        println!("fault totals:");
+        for (kind, count) in &stats.faults {
+            println!("  {kind:<12} {count}");
+        }
+    }
+    if !stats.spans.is_empty() {
+        print_waterfall(&stats.spans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_obs::{Probe, TraceDoc, TraceProbe};
+
+    fn sample_doc() -> String {
+        let mut probe = TraceProbe::new(64);
+        probe.on_trial_begin(0);
+        probe.on_draws(8, 3);
+        probe.on_round(0, 5);
+        probe.on_coverage(5, 6);
+        probe.on_trial_end(1, true);
+        let mut doc = TraceDoc::new();
+        doc.push_probe(&probe);
+        doc.push_span("cell", "c@24", 0, 10);
+        doc.push_span("batch", "c@24", 2, 7);
+        doc.render()
+    }
+
+    #[test]
+    fn valid_trace_accumulates_stats() {
+        let stats = read_trace(&sample_doc()).unwrap();
+        assert_eq!(stats.trial_rounds, vec![1]);
+        assert_eq!(stats.spans.len(), 2);
+        assert_eq!(stats.per_round[&0], (5, 8, 1));
+    }
+
+    #[test]
+    fn header_event_count_is_enforced() {
+        let mut doc = sample_doc();
+        doc.push_str("{\"ev\": \"trial_begin\", \"trial\": 9}\n");
+        let err = read_trace(&doc).unwrap_err();
+        assert!(err.contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_and_malformed_lines_are_rejected() {
+        let doc = sample_doc().replace("trace-v1", "trace-v9");
+        assert!(read_trace(&doc).unwrap_err().contains("schema"));
+        let doc = sample_doc().replace("\"frontier\": 5", "\"frontier\": \"x\"");
+        assert!(read_trace(&doc).unwrap_err().contains("frontier"));
+        let doc = sample_doc() + "not json\n";
+        assert!(read_trace(&doc).is_err());
+    }
+}

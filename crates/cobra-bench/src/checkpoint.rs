@@ -153,6 +153,15 @@ pub struct CellCheckpoint {
     pub times: Vec<Option<usize>>,
     /// For `failed` cells: why the cell was quarantined.
     pub error: Option<String>,
+    /// Wall-clock milliseconds spent simulating this cell so far,
+    /// summed across attempts. Zero in checkpoints written before
+    /// timing was recorded (the field is optional on parse, so v2-era
+    /// checkpoints resume unchanged).
+    pub wall_ms: u64,
+    /// Attempts beyond the first (panic or watchdog retries).
+    pub retries: u64,
+    /// Backoff sleeps (ms) taken before each retry, in order.
+    pub backoff_ms: Vec<u64>,
 }
 
 /// A whole checkpoint file: fingerprint plus the cells reached so far.
@@ -196,13 +205,18 @@ impl Checkpoint {
                 Some(e) => format!(", \"error\": \"{}\"", escape_str(e)),
                 None => String::new(),
             };
+            let backoff: Vec<String> = c.backoff_ms.iter().map(|b| b.to_string()).collect();
             out.push_str(&format!(
                 "    {{\"index\": {}, \"key\": \"{}\", \"status\": \"{}\", \
-                 \"times\": [{}]{}}}{}\n",
+                 \"times\": [{}], \"wall_ms\": {}, \"retries\": {}, \
+                 \"backoff_ms\": [{}]{}}}{}\n",
                 c.index,
                 escape_str(&c.key),
                 c.status.as_str(),
                 times.join(", "),
+                c.wall_ms,
+                c.retries,
+                backoff.join(", "),
                 error,
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
@@ -287,6 +301,18 @@ impl Checkpoint {
                     })?));
                 }
             }
+            // Timing fields arrived with manifest v3; older checkpoints
+            // omit them and default to zero so v2-era runs still resume.
+            let mut backoff_ms = Vec::new();
+            if let Some(arr) = cell.get("backoff_ms").and_then(|b| b.as_array()) {
+                for (j, b) in arr.iter().enumerate() {
+                    backoff_ms.push(
+                        b.as_u64().ok_or_else(|| {
+                            format!("cell {i}: backoff_ms[{j}] is not an integer")
+                        })?,
+                    );
+                }
+            }
             cells.push(CellCheckpoint {
                 index,
                 key: cell_field("key")?
@@ -300,6 +326,9 @@ impl Checkpoint {
                 )?,
                 times,
                 error: cell.get("error").and_then(|e| e.as_str()).map(String::from),
+                wall_ms: cell.get("wall_ms").and_then(|v| v.as_u64()).unwrap_or(0),
+                retries: cell.get("retries").and_then(|v| v.as_u64()).unwrap_or(0),
+                backoff_ms,
             });
         }
         Ok(Checkpoint { fingerprint, cells })
@@ -357,6 +386,9 @@ mod tests {
                     status: CellStatus::Done,
                     times: vec![Some(12), None, Some(15)],
                     error: None,
+                    wall_ms: 42,
+                    retries: 1,
+                    backoff_ms: vec![50],
                 },
                 CellCheckpoint {
                     index: 1,
@@ -364,6 +396,9 @@ mod tests {
                     status: CellStatus::Running,
                     times: vec![Some(20)],
                     error: None,
+                    wall_ms: 0,
+                    retries: 0,
+                    backoff_ms: Vec::new(),
                 },
             ],
         }
@@ -410,6 +445,24 @@ mod tests {
         ckpt.cells[1].index = 5;
         let err = Checkpoint::parse(&ckpt.render()).unwrap_err();
         assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn pre_timing_checkpoint_parses_with_zero_timing() {
+        // Checkpoints written before the timing fields existed (manifest
+        // v2 era) omit wall_ms / retries / backoff_ms entirely; they must
+        // still load, defaulting to zero, so --resume accepts them.
+        let text = "{\n  \"schema\": \"cobra-bench/checkpoint-v1\",\n  \
+                    \"experiment\": \"e16\",\n  \"mode\": \"quick\",\n  \"seed\": 7,\n  \
+                    \"rule\": {\"min_trials\": 6, \"max_trials\": 20, \
+                    \"rel_precision\": 0.2, \"confidence\": 0.95, \"batch\": 8},\n  \
+                    \"cells\": [\n    {\"index\": 0, \"key\": \"a@6\", \
+                    \"status\": \"done\", \"times\": [12, null]}\n  ]\n}\n";
+        let ckpt = Checkpoint::parse(text).unwrap();
+        assert_eq!(ckpt.cells[0].wall_ms, 0);
+        assert_eq!(ckpt.cells[0].retries, 0);
+        assert!(ckpt.cells[0].backoff_ms.is_empty());
+        assert_eq!(ckpt.cells[0].times, vec![Some(12), None]);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct ExpConfig {
     /// step; requires a manifest destination (checkpoints live next to
     /// the manifest).
     pub halt_after_checkpoints: Option<usize>,
+    /// If set, write the run's span timeline (JSONL, schema
+    /// `cobra-obs/trace-v1`) to this path: one span per cell attempt,
+    /// batch, and retry backoff, rendered by `trace_view`.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ExpConfig {
@@ -46,6 +50,7 @@ impl Default for ExpConfig {
             manifest: None,
             resume: None,
             halt_after_checkpoints: None,
+            trace: None,
         }
     }
 }
@@ -85,11 +90,15 @@ impl ExpConfig {
                     }
                     cfg.halt_after_checkpoints = Some(n);
                 }
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a path")?;
+                    cfg.trace = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: <exp> [--full | --quick] [--seed <u64>] [--csv <dir>] \
                          [--manifest <path>] [--resume <manifest>] \
-                         [--halt-after-checkpoints <n>]"
+                         [--halt-after-checkpoints <n>] [--trace <path>]"
                             .to_string(),
                     )
                 }
@@ -231,6 +240,14 @@ mod tests {
         assert!(parse(&["--halt-after-checkpoints"]).is_err());
         assert!(parse(&["--halt-after-checkpoints", "0"]).is_err());
         assert!(parse(&["--halt-after-checkpoints", "x"]).is_err());
+    }
+
+    #[test]
+    fn trace_flag() {
+        let cfg = parse(&["--trace", "/tmp/run.trace.jsonl"]).unwrap();
+        assert_eq!(cfg.trace.unwrap(), PathBuf::from("/tmp/run.trace.jsonl"));
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&[]).unwrap().trace.is_none());
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   every batch boundary);
 //! * `--halt-after-checkpoints <n>` — deterministic fault injection:
 //!   stop with exit code 3 after the n-th checkpoint write (used by the
-//!   kill-and-resume tests and the CI resume-smoke step).
+//!   kill-and-resume tests and the CI resume-smoke step);
+//! * `--trace <path>` — write the run's span timeline (one JSONL span
+//!   per cell attempt, batch boundary, and retry backoff; schema
+//!   `cobra-obs/trace-v1`) for the `trace_view` binary to validate and
+//!   render.
 //!
 //! Sweep-style binaries run through the adaptive orchestrator
 //! ([`orchestrator::Orchestrator`]): per-cell trial counts follow a

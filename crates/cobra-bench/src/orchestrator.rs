@@ -40,6 +40,19 @@
 //!   stops the run (exit code 3) right after the n-th checkpoint write,
 //!   which is how the kill-and-resume tests and the CI resume-smoke step
 //!   exercise the recovery path without real `kill -9` races.
+//!
+//! ## Run telemetry
+//!
+//! The manifest (schema `cobra-bench/run-manifest-v3`) additionally
+//! records per cell what the watchdog already measures: wall-clock
+//! milliseconds summed across attempts, the retry count, and the
+//! backoff history. Timing lives on its own JSON line per cell so the
+//! bit-identity checks (resume tests, CI `cmp`) can strip it before
+//! comparing — results stay deterministic, timing never is. With
+//! `--trace <path>`, the orchestrator also records a span timeline
+//! (`cobra-obs/trace-v1` JSONL: one span per cell attempt, batch
+//! boundary, and retry backoff) that the `trace_view` binary renders
+//! as a waterfall.
 
 use crate::checkpoint::{
     checkpoint_path_for, CellCheckpoint, CellStatus, Checkpoint, CheckpointFingerprint,
@@ -48,6 +61,7 @@ use crate::cli::ExpConfig;
 use crate::json::escape_str;
 use cobra_core::TypedProcess;
 use cobra_graph::{Graph, Vertex};
+use cobra_obs::TraceDoc;
 use cobra_sim::runner::AdaptiveOutcome;
 use cobra_sim::sweep::AdaptiveCellReport;
 use cobra_sim::{
@@ -141,6 +155,22 @@ struct ManifestCell {
     mean: f64,
     status: CellStatus,
     error: Option<String>,
+    timing: CellTiming,
+}
+
+/// Wall-clock accounting for one cell, summed across attempts — the
+/// numbers the watchdog already measures, now kept instead of dropped.
+/// Carried through checkpoints so a resumed cell's totals include its
+/// pre-interruption attempts.
+#[derive(Clone, Debug, Default)]
+struct CellTiming {
+    /// Milliseconds spent inside the cell's adaptive runner, all
+    /// attempts summed.
+    wall_ms: u64,
+    /// Attempts beyond the first (panic or watchdog retries).
+    retries: u64,
+    /// Backoff sleeps (ms) taken before each retry, in order.
+    backoff_ms: Vec<u64>,
 }
 
 /// How a robustly-run cell ended (when the run itself was not halted).
@@ -254,6 +284,11 @@ pub struct Orchestrator {
     spec: ExperimentSpec,
     cells: Vec<ManifestCell>,
     recovery: Recovery,
+    /// Zero point for span timestamps (milliseconds since run start).
+    run_started: Instant,
+    /// Span timeline, armed by `--trace`; `None` costs nothing.
+    trace: Option<TraceDoc>,
+    trace_path: Option<PathBuf>,
 }
 
 fn fatal(msg: &str) -> ! {
@@ -280,6 +315,9 @@ impl Orchestrator {
             spec,
             cells: Vec::new(),
             recovery: Recovery::default(),
+            run_started: Instant::now(),
+            trace: None,
+            trace_path: None,
         }
     }
 
@@ -308,6 +346,10 @@ impl Orchestrator {
             .as_ref()
             .map(|m| checkpoint_path_for(m));
         orch.recovery.halt_after = cfg.halt_after_checkpoints;
+        if let Some(trace) = &cfg.trace {
+            orch.trace_path = Some(trace.clone());
+            orch.trace = Some(TraceDoc::new());
+        }
         if cfg.halt_after_checkpoints.is_some() && orch.recovery.checkpoint_path.is_none() {
             return Err("--halt-after-checkpoints needs a checkpoint destination; \
                  pass --manifest <path> or --csv <dir>"
@@ -349,6 +391,19 @@ impl Orchestrator {
     /// The run's spec (mode, rule, seed).
     pub fn spec(&self) -> &ExperimentSpec {
         &self.spec
+    }
+
+    /// Milliseconds since the run started — the span timestamp base.
+    fn elapsed_ms(&self) -> u64 {
+        self.run_started.elapsed().as_millis() as u64
+    }
+
+    /// Record a span from `start_ms` until now, if tracing is armed.
+    fn record_span(&mut self, kind: &str, name: &str, start_ms: u64) {
+        let end = self.elapsed_ms();
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push_span(kind, name, start_ms, end);
+        }
     }
 
     fn fingerprint(&self) -> CheckpointFingerprint {
@@ -534,9 +589,13 @@ impl Orchestrator {
         let index = self.recovery.next_index;
         self.recovery.next_index += 1;
         let key = format!("{sweep}@{scale}");
+        let cell_start_ms = self.elapsed_ms();
+        let mut timing = CellTiming::default();
 
         // Resume: replay a done cell without re-simulation; continue a
         // running (or retry a failed) cell from its recorded prefix.
+        // Either way the checkpoint's timing carries forward so the
+        // manifest totals cover the pre-interruption attempts too.
         let mut prior_times: Vec<Option<usize>> = Vec::new();
         if let Some(rec) = self.recovery.prior.get(index) {
             if rec.key != key {
@@ -546,10 +605,17 @@ impl Orchestrator {
                     rec.key, key
                 ));
             }
+            timing = CellTiming {
+                wall_ms: rec.wall_ms,
+                retries: rec.retries,
+                backoff_ms: rec.backoff_ms.clone(),
+            };
             match rec.status {
                 CellStatus::Done => {
                     let outcome = replay_outcomes(&self.spec.rule, &rec.times);
-                    self.push_done(index, sweep, scale, &outcome, rec.times.clone());
+                    let times = rec.times.clone();
+                    self.record_span("cell", &key, cell_start_ms);
+                    self.push_done(index, sweep, scale, &outcome, times, timing);
                     return Ok(CellOutcome::Done(outcome));
                 }
                 CellStatus::Running | CellStatus::Failed => prior_times = rec.times.clone(),
@@ -569,15 +635,26 @@ impl Orchestrator {
             let mut halt_reason: Option<HaltReason> = None;
             let result = {
                 let recovery = &mut self.recovery;
+                let trace_slot = &mut self.trace;
+                let run_started = self.run_started;
+                let mut batch_start_ms = run_started.elapsed().as_millis() as u64;
                 let halt_slot = &mut halt_reason;
                 let prefix_slot = &mut last_prefix;
                 let key_ref = &key;
                 let fingerprint = &fingerprint;
+                let wall_base = timing.wall_ms;
+                let retries_base = timing.retries;
+                let backoff_ref = &timing.backoff_ms;
                 let mut on_batch = |times: &[Option<usize>]| -> BatchControl {
                     // Keep the consumed prefix in memory regardless of a
                     // checkpoint destination: watchdog/panic retries
                     // resume from it even without a file.
                     *prefix_slot = times.to_vec();
+                    if let Some(tr) = trace_slot.as_mut() {
+                        let now = run_started.elapsed().as_millis() as u64;
+                        tr.push_span("batch", key_ref, batch_start_ms, now);
+                        batch_start_ms = now;
+                    }
                     if let Some(path) = recovery.checkpoint_path.clone() {
                         let mut cells = recovery.records.clone();
                         cells.push(CellCheckpoint {
@@ -586,6 +663,9 @@ impl Orchestrator {
                             status: CellStatus::Running,
                             times: times.to_vec(),
                             error: None,
+                            wall_ms: wall_base + started.elapsed().as_millis() as u64,
+                            retries: retries_base,
+                            backoff_ms: backoff_ref.clone(),
                         });
                         let ckpt = Checkpoint {
                             fingerprint: fingerprint.clone(),
@@ -618,14 +698,17 @@ impl Orchestrator {
                     run(prior_attempt, &mut on_batch)
                 }))
             };
+            timing.wall_ms += started.elapsed().as_millis() as u64;
 
             match result {
                 Ok(out) if !out.halted => {
-                    self.push_done(index, sweep, scale, &out.outcome, out.times);
+                    self.record_span("cell", &key, cell_start_ms);
+                    self.push_done(index, sweep, scale, &out.outcome, out.times, timing);
                     return Ok(CellOutcome::Done(out.outcome));
                 }
                 Ok(out) => match halt_reason {
                     Some(HaltReason::External) | None => {
+                        self.record_span("cell", &key, cell_start_ms);
                         return Err(Interrupted {
                             checkpoints: self.recovery.checkpoints_written,
                             cell: key,
@@ -648,7 +731,8 @@ impl Orchestrator {
                                 budget.as_secs_f64(),
                                 attempt + 1
                             );
-                            self.push_failed(index, sweep, scale, &key, last_prefix, &msg);
+                            self.record_span("cell", &key, cell_start_ms);
+                            self.push_failed(index, sweep, scale, &key, last_prefix, &msg, timing);
                             return Ok(CellOutcome::Failed(msg));
                         }
                         budget *= 2;
@@ -657,17 +741,25 @@ impl Orchestrator {
                 Err(payload) => {
                     let msg = format!("panicked: {}", panic_message(payload));
                     if attempt >= retries {
-                        self.push_failed(index, sweep, scale, &key, last_prefix, &msg);
+                        self.record_span("cell", &key, cell_start_ms);
+                        self.push_failed(index, sweep, scale, &key, last_prefix, &msg, timing);
                         return Ok(CellOutcome::Failed(msg));
                     }
                 }
             }
             attempt += 1;
-            // Bounded backoff between attempts.
-            std::thread::sleep(Duration::from_millis(25u64 << attempt.min(6)));
+            timing.retries += 1;
+            // Bounded backoff between attempts, recorded in the timing
+            // block (and as a retry span when tracing).
+            let backoff = Duration::from_millis(25u64 << attempt.min(6));
+            timing.backoff_ms.push(backoff.as_millis() as u64);
+            let retry_start_ms = self.elapsed_ms();
+            std::thread::sleep(backoff);
+            self.record_span("retry", &key, retry_start_ms);
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal record sink
     fn push_done(
         &mut self,
         index: usize,
@@ -675,6 +767,7 @@ impl Orchestrator {
         scale: f64,
         out: &AdaptiveOutcome,
         times: Vec<Option<usize>>,
+        timing: CellTiming,
     ) {
         let report = AdaptiveCellReport::from_outcome(scale, out, self.spec.rule.confidence);
         let mean = out.summary.try_mean().unwrap_or(f64::NAN);
@@ -684,6 +777,7 @@ impl Orchestrator {
             mean,
             status: CellStatus::Done,
             error: None,
+            timing: timing.clone(),
         });
         self.recovery.records.push(CellCheckpoint {
             index,
@@ -691,9 +785,13 @@ impl Orchestrator {
             status: CellStatus::Done,
             times,
             error: None,
+            wall_ms: timing.wall_ms,
+            retries: timing.retries,
+            backoff_ms: timing.backoff_ms,
         });
     }
 
+    #[allow(clippy::too_many_arguments)] // internal record sink
     fn push_failed(
         &mut self,
         index: usize,
@@ -702,6 +800,7 @@ impl Orchestrator {
         key: &str,
         times: Vec<Option<usize>>,
         error: &str,
+        timing: CellTiming,
     ) {
         eprintln!("cell {key:?} quarantined: {error}");
         self.cells.push(ManifestCell {
@@ -718,6 +817,7 @@ impl Orchestrator {
             mean: f64::NAN,
             status: CellStatus::Failed,
             error: Some(error.to_string()),
+            timing: timing.clone(),
         });
         // The consumed prefix is kept so a later --resume retries the
         // cell from where it stood, not from scratch.
@@ -727,6 +827,9 @@ impl Orchestrator {
             status: CellStatus::Failed,
             times,
             error: Some(error.to_string()),
+            wall_ms: timing.wall_ms,
+            retries: timing.retries,
+            backoff_ms: timing.backoff_ms,
         });
     }
 
@@ -754,7 +857,7 @@ impl Orchestrator {
         let r = &self.spec.rule;
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"cobra-bench/run-manifest-v2\",\n");
+        out.push_str("  \"schema\": \"cobra-bench/run-manifest-v3\",\n");
         out.push_str(&format!(
             "  \"experiment\": \"{}\",\n  \"claim\": \"{}\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n",
             escape_str(&self.spec.id),
@@ -774,11 +877,16 @@ impl Orchestrator {
                 Some(e) => format!(", \"error\": \"{}\"", escape_str(e)),
                 None => String::new(),
             };
+            // The deterministic result fields and the wall-clock timing
+            // live on separate lines: the bit-identity checks (resume
+            // test, CI manifest `cmp`) strip lines containing "timing"
+            // before comparing.
+            let backoff: Vec<String> = c.timing.backoff_ms.iter().map(|b| b.to_string()).collect();
             out.push_str(&format!(
                 "    {{\"sweep\": \"{}\", \"scale\": {}, \"status\": \"{}\", \
                  \"trials_used\": {}, \"completed\": {}, \"censored\": {}, \"mean\": {}, \
                  \"ci_half_width\": {:.6}, \"rel_half_width\": {:.6}, \
-                 \"precision_met\": {}{}}}{}\n",
+                 \"precision_met\": {}{},\n",
                 escape_str(&c.sweep),
                 rep.scale,
                 c.status.as_str(),
@@ -793,7 +901,14 @@ impl Orchestrator {
                 rep.ci_half_width,
                 rep.rel_half_width,
                 rep.precision_met,
-                error,
+                error
+            ));
+            out.push_str(&format!(
+                "     \"timing\": {{\"wall_ms\": {}, \"retries\": {}, \
+                 \"backoff_ms\": [{}]}}}}{}\n",
+                c.timing.wall_ms,
+                c.timing.retries,
+                backoff.join(", "),
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
@@ -842,6 +957,19 @@ impl Orchestrator {
         let failed = self.failed_cells();
         if failed > 0 {
             eprintln!("{failed} cell(s) quarantined as failed — see the manifest");
+        }
+        if let (Some(path), Some(trace)) = (&self.trace_path, &self.trace) {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        fatal(&format!("cannot create {}: {e}", parent.display()));
+                    }
+                }
+            }
+            if let Err(e) = cobra_sim::write_atomic_str(path, &trace.render()) {
+                fatal(&format!("failed to write trace {}: {e}", path.display()));
+            }
+            println!("(span timeline written to {})", path.display());
         }
         if let Some(path) = self.manifest_path(cfg) {
             if let Some(parent) = path.parent() {
@@ -930,11 +1058,15 @@ mod tests {
         assert_eq!(orch.total_trials(), out.trials_run());
         assert_eq!(orch.precise_cells(), 1);
         let json = orch.render_manifest();
-        assert!(json.contains("\"schema\": \"cobra-bench/run-manifest-v2\""));
+        assert!(json.contains("\"schema\": \"cobra-bench/run-manifest-v3\""));
         assert!(json.contains("\"sweep\": \"k12\""));
         assert!(json.contains("\"status\": \"done\""));
         assert!(json.contains("\"precision_met\": true"));
         assert!(json.contains("\"experiment\": \"eT\""));
+        // Per-cell timing rides on its own line so determinism checks
+        // can strip it.
+        assert!(json.contains("\"timing\": {\"wall_ms\": "));
+        assert!(json.contains("\"retries\": 0"));
     }
 
     #[test]
@@ -1112,6 +1244,16 @@ mod tests {
         assert!(json.contains("\"mean\": null"));
     }
 
+    /// Drop the per-cell timing lines: wall-clock is the one
+    /// deliberately nondeterministic part of a v3 manifest.
+    fn strip_timing(manifest: &str) -> String {
+        manifest
+            .lines()
+            .filter(|l| !l.contains("\"timing\""))
+            .flat_map(|l| [l, "\n"])
+            .collect()
+    }
+
     #[test]
     fn halt_after_checkpoints_interrupts_and_resume_completes_identically() {
         let dir = std::env::temp_dir().join(format!("cobra-orch-halt-{}", std::process::id()));
@@ -1153,7 +1295,8 @@ mod tests {
         assert!(ckpt_path.exists());
 
         // Resumed run: replays/continues and matches the reference
-        // manifest byte for byte.
+        // manifest byte for byte, once the (wall-clock) timing lines
+        // are stripped.
         let resume_cfg = ExpConfig {
             resume: Some(manifest.clone()),
             ..base_cfg.clone()
@@ -1164,11 +1307,46 @@ mod tests {
         assert_eq!(a1.summary.try_mean().ok(), b1.summary.try_mean().ok());
         assert_eq!(a1.trials_run(), b1.trials_run());
         assert_eq!(a2.summary.try_mean().ok(), b2.summary.try_mean().ok());
-        assert_eq!(resumed.render_manifest(), reference);
+        assert_eq!(
+            strip_timing(&resumed.render_manifest()),
+            strip_timing(&reference)
+        );
         resumed.finish(&resume_cfg);
-        assert_eq!(std::fs::read_to_string(&manifest).unwrap(), reference_file);
+        assert_eq!(
+            strip_timing(&std::fs::read_to_string(&manifest).unwrap()),
+            strip_timing(&reference_file)
+        );
         // The completed resume cleaned up its checkpoint.
         assert!(!ckpt_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flag_writes_a_span_timeline() {
+        let dir = std::env::temp_dir().join(format!("cobra-orch-trace-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run.trace.jsonl");
+        // Force the trial cap so at least one batch boundary fires.
+        let rule = StopRule::new(10, 60, 0.0001);
+        let spec = ExperimentSpec::from_config("eV", "trace", &ci_cfg()).with_rule(rule);
+        let cfg = ExpConfig {
+            trace: Some(trace.clone()),
+            ..ExpConfig::default()
+        };
+        let mut orch = Orchestrator::try_for_run(spec, &cfg).unwrap();
+        let g = classic::cycle(24).unwrap();
+        orch.cover_cell("c", 24.0, &g, &CobraWalk::standard(), 0, 50_000, 3);
+        orch.finish(&cfg);
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(
+            header.starts_with("{\"schema\": \"cobra-obs/trace-v1\""),
+            "{header}"
+        );
+        assert!(text.contains("\"kind\": \"cell\""), "{text}");
+        assert!(text.contains("\"kind\": \"batch\""), "{text}");
+        assert!(text.contains("\"name\": \"c@24\""), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

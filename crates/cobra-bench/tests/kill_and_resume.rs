@@ -30,6 +30,17 @@ fn read(path: &Path) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
 }
 
+/// Drop the per-cell `"timing"` lines — the one deliberately
+/// nondeterministic (wall-clock) part of a v3 manifest — before
+/// byte-comparing manifests across runs.
+fn strip_timing(manifest: &str) -> String {
+    manifest
+        .lines()
+        .filter(|l| !l.contains("\"timing\""))
+        .flat_map(|l| [l, "\n"])
+        .collect()
+}
+
 #[test]
 fn kill_and_resume_produces_a_byte_identical_manifest() {
     let dir = fresh_dir("resume");
@@ -64,9 +75,10 @@ fn kill_and_resume_produces_a_byte_identical_manifest() {
     let out = run(&["--quick", "--resume", manifest.to_str().unwrap()]);
     assert!(out.status.success(), "resume run failed");
     assert_eq!(
-        read(&manifest),
-        read(&reference),
-        "resumed manifest must be byte-identical to the uninterrupted run"
+        strip_timing(&read(&manifest)),
+        strip_timing(&read(&reference)),
+        "resumed manifest must be byte-identical to the uninterrupted run \
+         (modulo the wall-clock timing lines)"
     );
     assert!(!ckpt.exists(), "completed resume cleans up its checkpoint");
     std::fs::remove_dir_all(&dir).ok();
@@ -149,7 +161,7 @@ fn quick_manifest_reports_all_cells_precise_and_validates_as_json() {
     let doc = cobra_bench::Json::parse(&read(&manifest)).expect("manifest is valid JSON");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some("cobra-bench/run-manifest-v2")
+        Some("cobra-bench/run-manifest-v3")
     );
     let cells = doc.get("cells").and_then(|c| c.as_array()).unwrap();
     // 5 loss sweeps × 3 sides + 3 regimes.

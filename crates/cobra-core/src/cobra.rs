@@ -171,6 +171,25 @@ impl<G: ImplicitGraph + ?Sized> TypedState<G> for CobraState {
     fn step_sampled<D: NeighborDraw<G>, R: Rng + ?Sized>(&mut self, g: &G, draw: &D, rng: &mut R) {
         self.advance::<false, G, D, R>(g, draw, rng);
     }
+
+    fn step_probed<D: NeighborDraw<G>, R: Rng + ?Sized, Pb: cobra_obs::Probe>(
+        &mut self,
+        g: &G,
+        draw: &D,
+        rng: &mut R,
+        probe: &mut Pb,
+    ) {
+        // Draw accounting costs two frontier-length reads (O(1) field
+        // loads), never a kernel change: every active vertex makes
+        // exactly k draws, and a draw "merged" iff it failed to open a
+        // new slot in the next frontier. Under `NoopProbe` both reads
+        // and the hook are dead code and the optimizer restores the
+        // exact `step_sampled` body.
+        let senders = self.cur.len() as u64;
+        self.advance::<false, G, D, R>(g, draw, rng);
+        let draws = senders * u64::from(self.k);
+        probe.on_draws(draws, draws - self.cur.len() as u64);
+    }
 }
 
 #[cfg(test)]

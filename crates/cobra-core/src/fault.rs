@@ -61,6 +61,7 @@ use crate::process::{
     TypedState,
 };
 use cobra_graph::{Graph, ImplicitGraph, Vertex};
+use cobra_obs::{FaultKind, NoopProbe, Probe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -419,10 +420,39 @@ impl FaultyCobraState {
         draw: &D,
         rng: &mut R,
     ) {
+        self.advance_probed::<MAINTAIN_OCC, G, D, R, NoopProbe>(g, draw, rng, &mut NoopProbe)
+    }
+
+    /// [`Self::advance`] with an observation seam. Emits
+    /// [`Probe::on_draws`] for the round's neighbor draws and one
+    /// [`Probe::on_fault`] per fault kind that fired this round:
+    /// [`FaultKind::PebbleLoss`] counts loss-coin hits plus bounded-queue
+    /// overflow drops, [`FaultKind::Delay`] counts pebbles buffered into
+    /// the in-flight queue, [`FaultKind::Outage`] counts down senders
+    /// skipped plus arrivals (drawn or in-flight) rejected by a down
+    /// destination, and [`FaultKind::Deletion`] counts waved senders
+    /// destroyed. The probe never touches either RNG stream, so a
+    /// `NoopProbe` call is bit-identical to the unprobed path — which is
+    /// how [`Self::advance`] is implemented.
+    #[inline]
+    fn advance_probed<
+        const MAINTAIN_OCC: bool,
+        G: ?Sized,
+        D: NeighborDraw<G>,
+        R: Rng + ?Sized,
+        Pb: Probe,
+    >(
+        &mut self,
+        g: &G,
+        draw: &D,
+        rng: &mut R,
+        probe: &mut Pb,
+    ) {
         if self.plan.is_none() {
             let FaultyCobraState {
                 k, cur, next, occ, ..
             } = self;
+            let senders = cur.len() as u64;
             next.clear();
             cur.for_each(|v| {
                 draw.draw_many(g, v, *k, rng, |u| next.insert_quiet(u));
@@ -433,6 +463,8 @@ impl FaultyCobraState {
                 next.for_each(|v| occ.push(v));
             }
             std::mem::swap(cur, next);
+            let draws = senders * u64::from(self.k);
+            probe.on_draws(draws, draws - self.cur.len() as u64);
             return;
         }
 
@@ -488,6 +520,14 @@ impl FaultyCobraState {
         let down = |v: Vertex| !crash_depth.is_empty() && crash_depth[v as usize] > 0;
         let waved = |v: Vertex| !wave_marks.is_empty() && wave_marks[v as usize];
 
+        // Fault tallies feed only the probe; under `NoopProbe` they are
+        // dead locals the optimizer strips.
+        let mut loss_hits = 0u64;
+        let mut delay_hits = 0u64;
+        let mut outage_hits = 0u64;
+        let mut deletion_hits = 0u64;
+        let mut draws_made = 0u64;
+
         next.clear();
 
         // 3. Deliver in-flight pebbles due this round (dropped if the
@@ -499,25 +539,38 @@ impl FaultyCobraState {
             in_flight.pop_front();
             if !down(u) {
                 next.insert_quiet(u);
+            } else {
+                outage_hits += 1;
             }
         }
 
         // 4. Surviving senders make their k draws from the main stream;
         // the sink applies loss → crash → delay from the fault stream.
         cur.for_each(|v| {
-            if down(v) || waved(v) {
+            if down(v) {
+                outage_hits += 1;
                 return;
             }
+            if waved(v) {
+                deletion_hits += 1;
+                return;
+            }
+            draws_made += u64::from(*k);
             draw.draw_many(g, v, *k, rng, |u| {
                 if plan.pebble_loss > 0.0 && bernoulli(plan.pebble_loss, frng) {
+                    loss_hits += 1;
                     return;
                 }
                 if down(u) {
+                    outage_hits += 1;
                     return;
                 }
                 if plan.delay_prob > 0.0 && bernoulli(plan.delay_prob, frng) {
                     if in_flight.len() < plan.max_in_flight {
                         in_flight.push_back((r + 1, u));
+                        delay_hits += 1;
+                    } else {
+                        loss_hits += 1;
                     }
                     return;
                 }
@@ -536,6 +589,20 @@ impl FaultyCobraState {
             self.wave_marks[v as usize] = false;
         }
         self.wave_marked.clear();
+
+        probe.on_draws(draws_made, 0);
+        if loss_hits > 0 {
+            probe.on_fault(FaultKind::PebbleLoss, loss_hits);
+        }
+        if delay_hits > 0 {
+            probe.on_fault(FaultKind::Delay, delay_hits);
+        }
+        if outage_hits > 0 {
+            probe.on_fault(FaultKind::Outage, outage_hits);
+        }
+        if deletion_hits > 0 {
+            probe.on_fault(FaultKind::Deletion, deletion_hits);
+        }
     }
 }
 
@@ -564,6 +631,16 @@ impl<G: ImplicitGraph + ?Sized> TypedState<G> for FaultyCobraState {
 
     fn step_sampled<D: NeighborDraw<G>, R: Rng + ?Sized>(&mut self, g: &G, draw: &D, rng: &mut R) {
         self.advance::<false, G, D, R>(g, draw, rng);
+    }
+
+    fn step_probed<D: NeighborDraw<G>, R: Rng + ?Sized, Pb: Probe>(
+        &mut self,
+        g: &G,
+        draw: &D,
+        rng: &mut R,
+        probe: &mut Pb,
+    ) {
+        self.advance_probed::<false, G, D, R, Pb>(g, draw, rng, probe);
     }
 }
 

@@ -53,6 +53,7 @@
 //! and the cover step is the first round at which coverage is complete.
 
 use cobra_graph::{Graph, NeighborSampler, Vertex};
+use cobra_obs::{NoopProbe, Probe};
 use rand::Rng;
 
 /// Number of trials one lane pass advances: the bits of a `u64`.
@@ -173,6 +174,41 @@ pub fn run_lane_cover<R: Rng + ?Sized>(
     scratch: &mut LaneScratch,
     rng: &mut R,
 ) -> LaneOutcome {
+    run_lane_cover_probed(
+        g,
+        sampler,
+        k,
+        start,
+        lane_mask,
+        max_steps,
+        scratch,
+        rng,
+        &mut NoopProbe,
+    )
+}
+
+/// [`run_lane_cover`] with an observation seam. The probe's unit is the
+/// whole 64-lane batch: per round it sees the live-lane count
+/// ([`cobra_obs::Probe::on_round`]), the pooled draw total
+/// ([`cobra_obs::Probe::on_draws`], merged count 0 — coalescing is
+/// cross-lane here and not attributable to individual draws), and the
+/// number of newly covered (vertex, lane) pairs
+/// ([`cobra_obs::Probe::on_coverage`]). The probe never touches the RNG,
+/// so `run_lane_cover_probed(.., &mut NoopProbe)` is bit-identical to
+/// [`run_lane_cover`] — which is in fact how the unprobed entry point is
+/// implemented.
+#[allow(clippy::too_many_arguments)] // mirrors run_typed_in's driver shape
+pub fn run_lane_cover_probed<R: Rng + ?Sized, Pb: Probe>(
+    g: &Graph,
+    sampler: &NeighborSampler,
+    k: u32,
+    start: Vertex,
+    lane_mask: u64,
+    max_steps: usize,
+    scratch: &mut LaneScratch,
+    rng: &mut R,
+    probe: &mut Pb,
+) -> LaneOutcome {
     let n = g.num_vertices();
     assert!(n > 0, "cover of the empty graph is undefined");
     assert!((start as usize) < n, "start vertex in range");
@@ -202,8 +238,13 @@ pub fn run_lane_cover<R: Rng + ?Sized>(
             m &= m - 1;
         }
     }
+    // Coverage is counted in (vertex, lane) pairs: the start vertex is
+    // covered in every lane of the batch at step 0.
+    let mut covered_pairs = u64::from(lane_mask.count_ones());
+    probe.on_coverage(covered_pairs, covered_pairs);
     if n == 1 {
         // Covered at step 0, matching the serial drivers.
+        probe.on_trial_end(0, true);
         return LaneOutcome {
             lane_mask,
             completed: lane_mask,
@@ -212,8 +253,11 @@ pub fn run_lane_cover<R: Rng + ?Sized>(
     }
 
     let n_u32 = n as u32;
+    let mut last_round = 0u64;
     for t in 1..=max_steps {
-        // Advance every live lane one round.
+        // Advance every live lane one round. The draw counter feeds only
+        // the probe; under `NoopProbe` it is dead and optimized away.
+        let mut round_draws = 0u64;
         for (v, &cur_v) in cur.iter().enumerate() {
             let lanes = cur_v & alive;
             if lanes == 0 {
@@ -228,6 +272,7 @@ pub fn run_lane_cover<R: Rng + ?Sized>(
                     for _ in 0..k {
                         next[bound.draw(rng) as usize] |= bit;
                     }
+                    round_draws += u64::from(k);
                     m ^= bit;
                 }
             } else {
@@ -239,20 +284,24 @@ pub fn run_lane_cover<R: Rng + ?Sized>(
                 for _ in 0..k {
                     next[bound.draw(rng) as usize] |= even;
                 }
+                round_draws += u64::from(k);
                 if odd != 0 {
                     for _ in 0..k {
                         next[bound.draw(rng) as usize] |= odd;
                     }
+                    round_draws += u64::from(k);
                 }
             }
         }
 
         // Union the new frontier into coverage and retire finished lanes.
         let mut finished = 0u64;
+        let mut newly_pairs = 0u64;
         for v in 0..n {
             let newly = next[v] & alive & !cov[v];
             if newly != 0 {
                 cov[v] |= newly;
+                newly_pairs += u64::from(newly.count_ones());
                 let mut m = newly;
                 while m != 0 {
                     let j = m.trailing_zeros() as usize;
@@ -274,12 +323,19 @@ pub fn run_lane_cover<R: Rng + ?Sized>(
             alive &= !finished;
         }
 
+        covered_pairs += newly_pairs;
+        last_round = t as u64;
+        probe.on_draws(round_draws, 0);
+        probe.on_round(t as u64, u64::from(alive.count_ones()));
+        probe.on_coverage(newly_pairs, covered_pairs);
+
         std::mem::swap(cur, next);
         next.fill(0);
         if alive == 0 {
             break;
         }
     }
+    probe.on_trial_end(last_round, alive == 0);
 
     // Censor whatever is still running.
     let mut m = alive;

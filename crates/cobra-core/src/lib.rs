@@ -80,7 +80,7 @@ pub use coverage::SuccinctCoverage;
 pub use fault::{DeletionWave, FaultPlan, FaultyCobraState, FaultyCobraWalk, VertexOutage};
 pub use frontier::{CoverageMask, Frontier};
 pub use gossip::{PullGossip, PushGossip, PushPullGossip};
-pub use lanes::{run_lane_cover, LaneOutcome, LaneScratch, LANE_WIDTH};
+pub use lanes::{run_lane_cover, run_lane_cover_probed, LaneOutcome, LaneScratch, LANE_WIDTH};
 pub use measure::{run_cover_succinct, CoverDriver, CoverResult, HittingDriver, HittingResult};
 pub use parallel_walks::ParallelWalks;
 pub use process::{

@@ -14,6 +14,7 @@ use crate::frontier::CoverageMask;
 use crate::process::{NeighborDraw, Process, StateView, TypedProcess, TypedState};
 use crate::scratch::TrialScratch;
 use cobra_graph::{Graph, ImplicitGraph, Vertex};
+use cobra_obs::{NoopProbe, Probe};
 use rand::Rng;
 
 /// Outcome of a cover-time run.
@@ -70,6 +71,23 @@ impl<'g> CoverDriver<'g, Graph> {
         max_steps: usize,
         rng: &mut dyn Rng,
     ) -> Option<CoverResult> {
+        self.run_probed(process, start, max_steps, rng, &mut NoopProbe)
+    }
+
+    /// [`CoverDriver::run`] with an observability [`Probe`] attached: the
+    /// driver reports each round's index and frontier occupancy plus the
+    /// coverage delta (the dyn route cannot account for draw counts — the
+    /// boxed state hides the kernel). The probe never touches the RNG, so
+    /// results are bit-identical to [`CoverDriver::run`]; with
+    /// [`NoopProbe`] this *is* `run`.
+    pub fn run_probed<Pb: Probe>(
+        &self,
+        process: &dyn Process,
+        start: Vertex,
+        max_steps: usize,
+        rng: &mut dyn Rng,
+        probe: &mut Pb,
+    ) -> Option<CoverResult> {
         let n = self.g.num_vertices();
         if n == 0 {
             return None;
@@ -86,8 +104,10 @@ impl<'g> CoverDriver<'g, Graph> {
             }
         };
         mark(state.occupied(), &mut covered, &mut covered_count);
+        probe.on_coverage(covered_count as u64, covered_count as u64);
         let mut trajectory = self.record_trajectory.then(Vec::new);
         if covered_count == n {
+            probe.on_trial_end(0, true);
             return Some(CoverResult {
                 steps: 0,
                 covered: n,
@@ -97,11 +117,20 @@ impl<'g> CoverDriver<'g, Graph> {
         }
         for t in 1..=max_steps {
             state.step(self.g, rng);
+            let before = covered_count;
             mark(state.occupied(), &mut covered, &mut covered_count);
+            // `Pb::ENABLED` gate: `support_size` is a scan (and for some
+            // processes an allocation) when there is no O(1) frontier —
+            // the noop route must not pay for it.
+            if Pb::ENABLED {
+                probe.on_round(t as u64, state.support_size() as u64);
+            }
+            probe.on_coverage((covered_count - before) as u64, covered_count as u64);
             if let Some(tr) = trajectory.as_mut() {
                 tr.push(state.support_size());
             }
             if covered_count == n {
+                probe.on_trial_end(t as u64, true);
                 return Some(CoverResult {
                     steps: t,
                     covered: n,
@@ -110,6 +139,7 @@ impl<'g> CoverDriver<'g, Graph> {
                 });
             }
         }
+        probe.on_trial_end(max_steps as u64, false);
         Some(CoverResult {
             steps: max_steps,
             covered: covered_count,
@@ -133,15 +163,35 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
         max_steps: usize,
         rng: &mut R,
     ) -> Option<CoverResult> {
+        self.run_typed_probed(process, start, max_steps, rng, &mut NoopProbe)
+    }
+
+    /// [`CoverDriver::run_typed`] with an observability [`Probe`]
+    /// attached: the driver reports rounds, frontier occupancy, and
+    /// coverage deltas; the process kernel reports its own draw
+    /// accounting through [`TypedState::step_probed`]. The probe never
+    /// touches the RNG, so results are bit-identical to
+    /// [`CoverDriver::run_typed`]; with [`NoopProbe`] every hook is dead
+    /// code and this *is* `run_typed`.
+    pub fn run_typed_probed<P: TypedProcess<G>, R: Rng + ?Sized, Pb: Probe>(
+        &self,
+        process: &P,
+        start: Vertex,
+        max_steps: usize,
+        rng: &mut R,
+        probe: &mut Pb,
+    ) -> Option<CoverResult> {
         let n = self.g.num_vertices();
         if n == 0 {
             return None;
         }
         let mut state = process.spawn_typed(self.g, start);
         let mut covered = CoverageMask::new(n);
-        covered.mark_slice(state.occupied());
+        let newly = covered.mark_slice(state.occupied());
+        probe.on_coverage(newly as u64, covered.count() as u64);
         let mut trajectory = self.record_trajectory.then(Vec::new);
         if covered.is_complete() {
+            probe.on_trial_end(0, true);
             return Some(CoverResult {
                 steps: 0,
                 covered: n,
@@ -150,15 +200,22 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
             });
         }
         for t in 1..=max_steps {
-            state.step_fast(self.g, rng);
-            match state.frontier() {
+            // `ImplicitDraw` is stream-compatible with the `step_fast`
+            // default, so the probed round makes the same draws.
+            state.step_probed(self.g, &crate::process::ImplicitDraw, rng, probe);
+            let newly = match state.frontier() {
                 Some(f) => covered.union_frontier(f),
                 None => covered.mark_slice(state.occupied()),
             };
+            if Pb::ENABLED {
+                probe.on_round(t as u64, state.support_size() as u64);
+            }
+            probe.on_coverage(newly as u64, covered.count() as u64);
             if let Some(tr) = trajectory.as_mut() {
                 tr.push(state.support_size());
             }
             if covered.is_complete() {
+                probe.on_trial_end(t as u64, true);
                 return Some(CoverResult {
                     steps: t,
                     covered: n,
@@ -167,6 +224,7 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
                 });
             }
         }
+        probe.on_trial_end(max_steps as u64, false);
         Some(CoverResult {
             steps: max_steps,
             covered: covered.count(),
@@ -197,6 +255,40 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
         max_steps: usize,
         rng: &mut R,
     ) -> Option<CoverResult> {
+        self.run_typed_in_probed(
+            process,
+            draw,
+            scratch,
+            start,
+            max_steps,
+            rng,
+            &mut NoopProbe,
+        )
+    }
+
+    /// [`CoverDriver::run_typed_in`] with an observability [`Probe`]
+    /// attached — the probed analogue exactly as
+    /// [`CoverDriver::run_typed_probed`] is to [`CoverDriver::run_typed`].
+    /// Bit-identical to the unprobed scratch driver on the same seed
+    /// (the probe never touches the RNG), and allocation-free once warm
+    /// for probes that don't allocate.
+    #[allow(clippy::too_many_arguments)] // mirrors run_typed_in + probe
+    pub fn run_typed_in_probed<P, D, R, Pb>(
+        &self,
+        process: &P,
+        draw: &D,
+        scratch: &mut TrialScratch<P::State>,
+        start: Vertex,
+        max_steps: usize,
+        rng: &mut R,
+        probe: &mut Pb,
+    ) -> Option<CoverResult>
+    where
+        P: TypedProcess<G>,
+        D: NeighborDraw<G>,
+        R: Rng + ?Sized,
+        Pb: Probe,
+    {
         let n = self.g.num_vertices();
         if n == 0 {
             return None;
@@ -208,8 +300,10 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
             trajectory,
         } = scratch;
         let state = state.as_mut().expect("prepare populated the state");
-        covered.mark_slice(state.occupied());
+        let newly = covered.mark_slice(state.occupied());
+        probe.on_coverage(newly as u64, covered.count() as u64);
         if covered.is_complete() {
+            probe.on_trial_end(0, true);
             return Some(CoverResult {
                 steps: 0,
                 covered: n,
@@ -218,15 +312,20 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
             });
         }
         for t in 1..=max_steps {
-            state.step_sampled(self.g, draw, rng);
-            match state.frontier() {
+            state.step_probed(self.g, draw, rng, probe);
+            let newly = match state.frontier() {
                 Some(f) => covered.union_frontier(f),
                 None => covered.mark_slice(state.occupied()),
             };
+            if Pb::ENABLED {
+                probe.on_round(t as u64, state.support_size() as u64);
+            }
+            probe.on_coverage(newly as u64, covered.count() as u64);
             if self.record_trajectory {
                 trajectory.push(state.support_size());
             }
             if covered.is_complete() {
+                probe.on_trial_end(t as u64, true);
                 return Some(CoverResult {
                     steps: t,
                     covered: n,
@@ -235,6 +334,7 @@ impl<'g, G: ImplicitGraph + ?Sized> CoverDriver<'g, G> {
                 });
             }
         }
+        probe.on_trial_end(max_steps as u64, false);
         Some(CoverResult {
             steps: max_steps,
             covered: covered.count(),

@@ -182,6 +182,27 @@ pub trait TypedState<G: ImplicitGraph + ?Sized = Graph>: StateView {
         let _ = draw;
         self.step_fast(g, rng)
     }
+
+    /// Advance one round on the fast path with an observability probe
+    /// attached. Must consume the same RNG stream and reach the same
+    /// state as [`TypedState::step_sampled`] — the probe observes, it
+    /// never participates. The default ignores the probe entirely (so
+    /// every existing state is probe-transparent); kernels that can
+    /// account for their own work (draw counts, coalesces, faults)
+    /// override this to report through `probe`. With
+    /// [`cobra_obs::NoopProbe`] every override must compile down to the
+    /// unprobed kernel — `tests/probe_neutrality.rs` pins the routes
+    /// bit-for-bit.
+    fn step_probed<D: NeighborDraw<G>, R: Rng + ?Sized, Pb: cobra_obs::Probe>(
+        &mut self,
+        g: &G,
+        draw: &D,
+        rng: &mut R,
+        probe: &mut Pb,
+    ) {
+        let _ = probe;
+        self.step_sampled(g, draw, rng)
+    }
 }
 
 /// A strategy for drawing uniformly random neighbors.

@@ -60,7 +60,14 @@ impl<'a> PathScope<'a> {
     fn is_outcome_crate(&self) -> bool {
         matches!(
             self.krate,
-            Some("cobra-core" | "cobra-graph" | "cobra-sim" | "cobra-analysis" | "cobra-spectral")
+            Some(
+                "cobra-core"
+                    | "cobra-graph"
+                    | "cobra-sim"
+                    | "cobra-analysis"
+                    | "cobra-spectral"
+                    | "cobra-obs"
+            )
         ) || (self.krate.is_none() && self.path.starts_with("src/"))
     }
 
@@ -99,6 +106,15 @@ impl<'a> PathScope<'a> {
     /// benches, examples, and binaries.
     pub fn check_no_unwrap(&self) -> bool {
         self.is_lib_src()
+    }
+
+    /// probe-discipline: the engine crates (and the probe crate itself)
+    /// report events through the `cobra_obs::Probe` seam — no ad-hoc
+    /// console telemetry or global Atomic counters in library code.
+    /// Bench binaries print their reports; tests assert however they
+    /// like.
+    pub fn check_probe_discipline(&self) -> bool {
+        matches!(self.krate, Some("cobra-core" | "cobra-sim" | "cobra-obs")) && self.is_lib_src()
     }
 
     /// float-eq: exact float comparison is banned in the statistics
@@ -154,5 +170,14 @@ mod tests {
         let s = PathScope::of("crates/cobra-bench/src/orchestrator.rs");
         assert!(!s.check_no_wall_clock());
         assert!(s.check_no_unwrap());
+        assert!(!s.check_probe_discipline());
+
+        let s = PathScope::of("crates/cobra-obs/src/lib.rs");
+        assert!(s.check_no_wall_clock());
+        assert!(s.check_probe_discipline());
+        let s = PathScope::of("crates/cobra-core/src/cobra.rs");
+        assert!(s.check_probe_discipline());
+        let s = PathScope::of("crates/cobra-core/tests/walks.rs");
+        assert!(!s.check_probe_discipline());
     }
 }

@@ -76,6 +76,9 @@ pub fn lint_source(path: &str, src: &str) -> Report {
     if scope.check_float_eq() {
         rules::float_eq(&ctx, &mut raw);
     }
+    if scope.check_probe_discipline() {
+        rules::probe_discipline(&ctx, &mut raw);
+    }
 
     // The suppressions themselves are linted: unknown rule names and
     // missing reasons defeat the audit trail.

@@ -47,6 +47,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no ==/!= against floats in the statistics paths",
     },
     RuleInfo {
+        name: "probe-discipline",
+        summary: "no ad-hoc console telemetry (println!/eprintln!/dbg!) or global Atomic counters in engine code — events go through the cobra_obs::Probe seam",
+    },
+    RuleInfo {
         name: "bad-suppression",
         summary: "lint:allow comments must name a known rule and give a non-empty reason",
     },
@@ -413,6 +417,67 @@ pub fn no_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
                  `.expect(\"which invariant broke\")`"
                     .to_string(),
             );
+        }
+    }
+}
+
+/// Console macros that smuggle telemetry past the probe seam.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// probe-discipline: engine instrumentation goes through the
+/// `cobra_obs::Probe` seam — deterministic, attachable, zero-cost when
+/// off. Ad-hoc `eprintln!` telemetry and `static Atomic*` counters are
+/// the two ways instrumentation historically leaks in, and both defeat
+/// the seam (unconditional cost, global mutable state, output that
+/// isn't part of any schema).
+pub fn probe_discipline(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && ctx.is_punct(i + 1, "!")
+        {
+            push(
+                out,
+                "probe-discipline",
+                ctx,
+                i,
+                format!(
+                    "`{}!` in engine code — report events through the cobra_obs::Probe seam \
+                     (or justify with lint:allow(probe-discipline, reason))",
+                    t.text
+                ),
+            );
+        }
+        // `static NAME: AtomicU64 = …` — a global counter. Scan the
+        // declaration head (up to the initializer) for an Atomic type;
+        // `'static` lifetimes are a separate token kind and never reach
+        // this arm.
+        if ctx.is_ident(i, "static") {
+            for j in i + 1..ctx.toks.len().min(i + 16) {
+                if ctx.is_punct(j, "=") || ctx.is_punct(j, ";") {
+                    break;
+                }
+                let tj = &ctx.toks[j];
+                if tj.kind == TokKind::Ident && tj.text.starts_with("Atomic") {
+                    push(
+                        out,
+                        "probe-discipline",
+                        ctx,
+                        i,
+                        format!(
+                            "global `static` {} counter in engine code — accumulate through a \
+                             cobra_obs::Probe (e.g. CountingProbe) so the count is per-trial, \
+                             deterministic, and free when unobserved",
+                            tj.text
+                        ),
+                    );
+                    break;
+                }
+            }
         }
     }
 }

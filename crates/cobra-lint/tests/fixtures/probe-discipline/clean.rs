@@ -1,0 +1,9 @@
+//! Fixture: the same accounting routed through the probe seam — the
+//! caller decides whether anything observes it, and `NoopProbe`
+//! compiles the hook away.
+
+use cobra_obs::Probe;
+
+pub fn advance<Pb: Probe>(round: u64, frontier: usize, probe: &mut Pb) {
+    probe.on_round(round, frontier as u64);
+}

@@ -1,0 +1,15 @@
+//! Fixture: ad-hoc telemetry smuggled into engine code — a console
+//! macro pair and a global counter, the two leaks the probe seam
+//! exists to replace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ROUNDS_SEEN: AtomicU64 = AtomicU64::new(0);
+
+pub fn advance(round: u64, frontier: usize) {
+    ROUNDS_SEEN.fetch_add(1, Ordering::Relaxed);
+    if frontier == 0 {
+        eprintln!("round {round}: empty frontier");
+    }
+    println!("round {round}: frontier {frontier}");
+}

@@ -158,6 +158,26 @@ fn float_eq_triple() {
 }
 
 #[test]
+fn probe_discipline_triple() {
+    // eprintln!, println!, and a global Atomic counter.
+    assert_triple("probe-discipline", "crates/cobra-core/src/fixture.rs", 3);
+}
+
+#[test]
+fn probe_discipline_is_scoped_to_engine_lib_code() {
+    // Bench binaries print their reports; the rule is an engine-library
+    // contract.
+    let report = lint_source(
+        "crates/cobra-bench/src/bin/e99_fixture.rs",
+        &fixture("probe-discipline", "violation"),
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule != "probe-discipline"),
+        "probe-discipline must not fire outside engine library code"
+    );
+}
+
+#[test]
 fn bad_suppression_violations() {
     // A typo'd rule name and a missing reason: both are findings, and
     // neither malformed directive silences the underlying violation.

@@ -39,9 +39,11 @@ pub use runner::{
     run_cover_trials_adaptive_auto, run_cover_trials_adaptive_auto_resumable,
     run_cover_trials_adaptive_lanes, run_cover_trials_adaptive_lanes_resumable,
     run_cover_trials_adaptive_resumable, run_cover_trials_auto, run_cover_trials_implicit,
-    run_cover_trials_lanes, run_cover_trials_typed, run_hitting_trials,
-    run_hitting_trials_adaptive, run_hitting_trials_adaptive_resumable, run_hitting_trials_typed,
-    AdaptiveOutcome, BatchControl, ResumableOutcome, TrialOutcome, TrialPlan, LANE_MAX_N,
+    run_cover_trials_implicit_probed, run_cover_trials_lanes, run_cover_trials_lanes_probed,
+    run_cover_trials_probed, run_cover_trials_typed, run_cover_trials_typed_probed,
+    run_hitting_trials, run_hitting_trials_adaptive, run_hitting_trials_adaptive_resumable,
+    run_hitting_trials_typed, AdaptiveOutcome, BatchControl, ResumableOutcome, TrialOutcome,
+    TrialPlan, LANE_MAX_N,
 };
 pub use seeds::SeedSequence;
 pub use stats::{ks_distance, quantile_sorted, z_for_level, EmptySummary, Summary};

@@ -8,10 +8,11 @@ use crate::convergence::AdaptivePlan;
 use crate::seeds::SeedSequence;
 use crate::stats::{EmptySummary, Summary};
 use cobra_core::{
-    run_lane_cover, CoverDriver, HittingDriver, ImplicitDraw, LaneScratch, Process, TrialScratch,
-    TypedProcess, LANE_WIDTH,
+    run_lane_cover, run_lane_cover_probed, CoverDriver, HittingDriver, ImplicitDraw, LaneScratch,
+    Process, TrialScratch, TypedProcess, LANE_WIDTH,
 };
 use cobra_graph::{Graph, ImplicitGraph, NeighborSampler, Vertex};
+use cobra_obs::Probe;
 use rayon::prelude::*;
 
 /// How many trials to run and how long each may take.
@@ -84,6 +85,18 @@ fn aggregate(times: Vec<Option<usize>>) -> TrialOutcome {
         }
     }
     TrialOutcome { summary, censored }
+}
+
+/// Split a per-trial `(outcome, probe)` stream into the aggregated
+/// [`TrialOutcome`] plus the probes in global trial order.
+fn split_probed<Pb>(pairs: Vec<(Option<usize>, Pb)>) -> (TrialOutcome, Vec<Pb>) {
+    let mut times = Vec::with_capacity(pairs.len());
+    let mut probes = Vec::with_capacity(pairs.len());
+    for (t, p) in pairs {
+        times.push(t);
+        probes.push(p);
+    }
+    (aggregate(times), probes)
 }
 
 /// Measure cover times of `process` from `start` over `plan.trials`
@@ -193,6 +206,136 @@ where
         )
         .collect();
     aggregate(times)
+}
+
+/// Probed variant of [`run_cover_trials`]: identical trial plan, seeds,
+/// and draw stream, plus one [`Probe`] per trial built by
+/// `make_probe(global_trial_index)` and returned in global trial order.
+///
+/// The runner fires [`Probe::on_trial_begin`] with the global index
+/// before each trial, then hands the probe to
+/// [`CoverDriver::run_probed`]. Because probes are keyed by global trial
+/// index and never touch the RNG, telemetry is bit-reproducible at any
+/// worker count, and a `NoopProbe` factory reproduces
+/// [`run_cover_trials`] exactly (pinned in `tests/probe_neutrality.rs`).
+pub fn run_cover_trials_probed<P, Pb, F>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+    make_probe: F,
+) -> (TrialOutcome, Vec<Pb>)
+where
+    P: Process + ?Sized,
+    Pb: Probe + Send,
+    F: Fn(u64) -> Pb + Sync,
+{
+    let seq = SeedSequence::new(plan.master_seed);
+    let pairs: Vec<(Option<usize>, Pb)> = (0..plan.trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = seq.rng_at(i as u64);
+            let mut probe = make_probe(i as u64);
+            probe.on_trial_begin(i as u64);
+            let res = CoverDriver::new(g)
+                .run_probed(&process, start, plan.max_steps, &mut rng, &mut probe)
+                .expect("non-empty graph");
+            (res.completed.then_some(res.steps), probe)
+        })
+        .collect();
+    split_probed(pairs)
+}
+
+/// Probed variant of [`run_cover_trials_typed`]: the batched
+/// scratch+sampler engine with a per-trial [`Probe`] from
+/// `make_probe(global_trial_index)`, returned in global trial order.
+/// Same seeds and draws as the unprobed runner — a `NoopProbe` factory
+/// is bit-identical to [`run_cover_trials_typed`] at any worker count.
+pub fn run_cover_trials_typed_probed<P, Pb, F>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+    make_probe: F,
+) -> (TrialOutcome, Vec<Pb>)
+where
+    P: TypedProcess + Sync,
+    Pb: Probe + Send,
+    F: Fn(u64) -> Pb + Sync,
+{
+    let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let driver = CoverDriver::new(g);
+    let pairs: Vec<(Option<usize>, Pb)> = (0..plan.trials)
+        .into_par_iter()
+        .map_init(
+            || TrialScratch::new(g),
+            |scratch, i| {
+                let mut rng = seq.rng_at(i as u64);
+                let mut probe = make_probe(i as u64);
+                probe.on_trial_begin(i as u64);
+                let res = driver
+                    .run_typed_in_probed(
+                        process,
+                        &sampler,
+                        scratch,
+                        start,
+                        plan.max_steps,
+                        &mut rng,
+                        &mut probe,
+                    )
+                    .expect("non-empty graph");
+                (res.completed.then_some(res.steps), probe)
+            },
+        )
+        .collect();
+    split_probed(pairs)
+}
+
+/// Probed variant of [`run_cover_trials_implicit`]: the arithmetic
+/// [`ImplicitDraw`] engine with a per-trial [`Probe`] from
+/// `make_probe(global_trial_index)`, returned in global trial order.
+/// Never lane-routed, like its unprobed twin; a `NoopProbe` factory is
+/// bit-identical to [`run_cover_trials_implicit`].
+pub fn run_cover_trials_implicit_probed<G, P, Pb, F>(
+    g: &G,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+    make_probe: F,
+) -> (TrialOutcome, Vec<Pb>)
+where
+    G: ImplicitGraph + ?Sized,
+    P: TypedProcess<G> + Sync,
+    Pb: Probe + Send,
+    F: Fn(u64) -> Pb + Sync,
+{
+    let seq = SeedSequence::new(plan.master_seed);
+    let driver = CoverDriver::new(g);
+    let pairs: Vec<(Option<usize>, Pb)> = (0..plan.trials)
+        .into_par_iter()
+        .map_init(
+            || TrialScratch::new(g),
+            |scratch, i| {
+                let mut rng = seq.rng_at(i as u64);
+                let mut probe = make_probe(i as u64);
+                probe.on_trial_begin(i as u64);
+                let res = driver
+                    .run_typed_in_probed(
+                        process,
+                        &ImplicitDraw,
+                        scratch,
+                        start,
+                        plan.max_steps,
+                        &mut rng,
+                        &mut probe,
+                    )
+                    .expect("non-empty graph");
+                (res.completed.then_some(res.steps), probe)
+            },
+        )
+        .collect();
+    split_probed(pairs)
 }
 
 /// Measure hitting times `start → target` of `process` over
@@ -376,6 +519,69 @@ pub fn run_cover_trials_lanes<P: TypedProcess + Sync>(
     // property.
     times.truncate(plan.trials);
     aggregate(times)
+}
+
+/// Probed variant of [`run_cover_trials_lanes`]: one [`Probe`] per
+/// 64-lane **batch** (the lane engine's natural observation unit — lanes
+/// share draws, so per-lane draw attribution does not exist), built by
+/// `make_probe(batch_index)` and returned in batch order. The runner
+/// fires [`Probe::on_trial_begin`] with the batch index; the lane kernel
+/// reports rounds, live-lane counts, pooled draw totals, and
+/// (vertex, lane) coverage deltas (see
+/// [`cobra_core::lanes::run_lane_cover_probed`]). Seeds and draws match
+/// the unprobed lane runner exactly — a `NoopProbe` factory is
+/// bit-identical to [`run_cover_trials_lanes`].
+pub fn run_cover_trials_lanes_probed<P, Pb, F>(
+    g: &Graph,
+    process: &P,
+    start: Vertex,
+    plan: &TrialPlan,
+    make_probe: F,
+) -> (TrialOutcome, Vec<Pb>)
+where
+    P: TypedProcess + Sync,
+    Pb: Probe + Send,
+    F: Fn(u64) -> Pb + Sync,
+{
+    let k = process
+        .lane_branching()
+        .expect("process has no lane-parallel form");
+    let batches = plan.trials.div_ceil(LANE_WIDTH);
+    let seq = SeedSequence::new(plan.master_seed);
+    let sampler = NeighborSampler::new(g);
+    let outs: Vec<_> = (0..batches)
+        .into_par_iter()
+        .map_init(
+            || LaneScratch::new(g),
+            |scratch, b| {
+                let mut rng = seq.rng_at(b as u64);
+                let mut probe = make_probe(b as u64);
+                probe.on_trial_begin(b as u64);
+                let out = run_lane_cover_probed(
+                    g,
+                    &sampler,
+                    k,
+                    start,
+                    u64::MAX,
+                    plan.max_steps,
+                    scratch,
+                    &mut rng,
+                    &mut probe,
+                );
+                (out, probe)
+            },
+        )
+        .collect();
+    let mut times = Vec::with_capacity(batches * LANE_WIDTH);
+    let mut probes = Vec::with_capacity(batches);
+    for (out, probe) in outs {
+        for lane in 0..LANE_WIDTH {
+            times.push(out.cover_time(lane));
+        }
+        probes.push(probe);
+    }
+    times.truncate(plan.trials);
+    (aggregate(times), probes)
 }
 
 /// Cover trials through the best engine for the cell: the 64-lane

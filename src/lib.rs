@@ -13,7 +13,9 @@
 //! * [`walks`] — cobra walks and every comparison process
 //!   ([`cobra_core`]);
 //! * [`sim`] — Monte-Carlo engine and statistics ([`cobra_sim`]);
-//! * [`analysis`] — growth-shape fitting ([`cobra_analysis`]).
+//! * [`analysis`] — growth-shape fitting ([`cobra_analysis`]);
+//! * [`obs`] — the zero-cost probe seam and deterministic run telemetry
+//!   ([`cobra_obs`]).
 //!
 //! ## Quickstart
 //!
@@ -32,5 +34,6 @@
 pub use cobra_analysis as analysis;
 pub use cobra_core as walks;
 pub use cobra_graph as graph;
+pub use cobra_obs as obs;
 pub use cobra_sim as sim;
 pub use cobra_spectral as spectral;

@@ -1,0 +1,266 @@
+//! Probe-seam neutrality and telemetry-oracle contract.
+//!
+//! The observability seam (`cobra_obs::Probe`) owes two guarantees:
+//!
+//! * **`NoopProbe` is free** — every probed engine route (dyn, typed,
+//!   scratch/implicit, bit-sliced lanes) driven with a `NoopProbe`
+//!   factory is bit-identical to its unprobed twin, at every rayon
+//!   worker count {1, 2, 8}. The probe must never touch the RNG stream
+//!   or perturb the walk; otherwise enabling telemetry would fork every
+//!   frozen baseline.
+//! * **Counters are honest** — `CountingProbe`/`TraceProbe` totals are
+//!   validated against independent oracles: draws consumed equals the
+//!   RNG stream position (on cycle graphs every neighbor draw costs
+//!   exactly one `u64` — degree 2 is a power of two, so the widening
+//!   Lemire sampler never rejects), coverage deltas sum to `n` on a
+//!   completed cover, and per-round draws equal `k·|frontier|`.
+
+use cobra_repro::graph::generators::{classic, grid};
+use cobra_repro::graph::{Graph, ImplicitGrid};
+use cobra_repro::obs::{CountingProbe, NoopProbe, Probe, TraceEvent, TraceProbe};
+use cobra_repro::sim::runner::{
+    run_cover_trials, run_cover_trials_implicit, run_cover_trials_implicit_probed,
+    run_cover_trials_lanes, run_cover_trials_lanes_probed, run_cover_trials_probed,
+    run_cover_trials_typed, run_cover_trials_typed_probed, TrialPlan,
+};
+use cobra_repro::sim::TrialOutcome;
+use cobra_repro::walks::{CobraWalk, CoverDriver, FaultPlan, FaultyCobraWalk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_STEPS: usize = 60_000;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run `f` inside a dedicated rayon pool with `workers` threads, so the
+/// runners' internal `par_iter` uses exactly that worker count.
+fn in_pool<T: Send>(workers: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("build rayon pool")
+        .install(f)
+}
+
+/// Full-moment equality: same censoring and the same multiset summary,
+/// not just agreeing means.
+fn assert_outcomes_identical(a: &TrialOutcome, b: &TrialOutcome, label: &str) {
+    assert_eq!(a.censored, b.censored, "{label}: censoring differs");
+    assert_eq!(
+        a.summary.count(),
+        b.summary.count(),
+        "{label}: counts differ"
+    );
+    if a.summary.count() > 0 {
+        assert_eq!(a.summary.mean(), b.summary.mean(), "{label}: means differ");
+        assert_eq!(
+            a.summary.median(),
+            b.summary.median(),
+            "{label}: medians differ"
+        );
+        assert_eq!(a.summary.min(), b.summary.min(), "{label}: mins differ");
+        assert_eq!(a.summary.max(), b.summary.max(), "{label}: maxes differ");
+    }
+}
+
+#[test]
+fn noop_probe_is_bit_identical_on_all_four_routes_and_worker_counts() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("grid 8x8", grid::grid(&[7, 7])),
+        ("cycle 33", classic::cycle(33).unwrap()),
+    ];
+    let implicit = ImplicitGrid::new(&[7, 7]).unwrap();
+    let noop = |_trial: u64| NoopProbe;
+    for k in [1u32, 2] {
+        let process = CobraWalk::new(k);
+        // 96 trials: ≥ 64 so the lane route runs a full-width batch plus
+        // a truncated one.
+        let plan = TrialPlan::new(96, MAX_STEPS, 0x0B5E + u64::from(k));
+        for workers in WORKER_COUNTS {
+            for (name, g) in &graphs {
+                let label = |route: &str| format!("k={k}, {name}, {workers}w, {route} route");
+                in_pool(workers, || {
+                    assert_outcomes_identical(
+                        &run_cover_trials_probed(g, &process, 0, &plan, noop).0,
+                        &run_cover_trials(g, &process, 0, &plan),
+                        &label("dyn"),
+                    );
+                    assert_outcomes_identical(
+                        &run_cover_trials_typed_probed(g, &process, 0, &plan, noop).0,
+                        &run_cover_trials_typed(g, &process, 0, &plan),
+                        &label("typed"),
+                    );
+                    assert_outcomes_identical(
+                        &run_cover_trials_lanes_probed(g, &process, 0, &plan, noop).0,
+                        &run_cover_trials_lanes(g, &process, 0, &plan),
+                        &label("lanes"),
+                    );
+                });
+            }
+            in_pool(workers, || {
+                assert_outcomes_identical(
+                    &run_cover_trials_implicit_probed(&implicit, &process, 0, &plan, noop).0,
+                    &run_cover_trials_implicit(&implicit, &process, 0, &plan),
+                    &format!("k={k}, implicit grid, {workers}w"),
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn noop_probe_is_bit_identical_through_the_fault_seam() {
+    // The faulty kernel has its own probed body (`advance_probed`); the
+    // NoopProbe route must not perturb either the plan-none fast path or
+    // a plan exercising every fault dimension.
+    let g = grid::grid(&[7, 7]);
+    let noop = |_trial: u64| NoopProbe;
+    let plans = [
+        ("none", FaultPlan::none()),
+        (
+            "lossy",
+            FaultPlan::none()
+                .with_pebble_loss(0.1)
+                .with_delay(0.25, 32)
+                .with_outage(5, 3, 11)
+                .with_deletion_wave(7, vec![0, 1, 2]),
+        ),
+    ];
+    for (pname, fault_plan) in plans {
+        let process = FaultyCobraWalk::new(2, fault_plan);
+        let plan = TrialPlan::new(48, MAX_STEPS, 0xFA0B5);
+        for workers in WORKER_COUNTS {
+            in_pool(workers, || {
+                assert_outcomes_identical(
+                    &run_cover_trials_typed_probed(&g, &process, 0, &plan, noop).0,
+                    &run_cover_trials_typed(&g, &process, 0, &plan),
+                    &format!("faulty({pname}), {workers}w, typed route"),
+                );
+            });
+        }
+    }
+}
+
+/// RNG wrapper that counts consumed 64-bit words. Only `next_u64` is
+/// overridden — exactly like `StdRng` itself — so the wrapped stream is
+/// positionally identical to the bare one.
+struct TallyRng {
+    inner: StdRng,
+    words: u64,
+}
+
+impl Rng for TallyRng {
+    fn next_u64(&mut self) -> u64 {
+        self.words += 1;
+        self.inner.next_u64()
+    }
+}
+
+#[test]
+fn counting_probe_draws_equal_the_rng_stream_position() {
+    // On a cycle every vertex has degree 2, a power of two: the widening
+    // Lemire sampler consumes exactly one u64 per neighbor draw and the
+    // cobra walk draws nothing else. So the probe's draw total must
+    // equal the number of words pulled from the RNG — an oracle fully
+    // independent of the instrumentation arithmetic.
+    for n in [16usize, 33, 64] {
+        let g = classic::cycle(n).unwrap();
+        let driver = CoverDriver::new(&g);
+        for (pidx, k) in [1u32, 2, 3].into_iter().enumerate() {
+            let process = CobraWalk::new(k);
+            for seed in 0..4u64 {
+                let seed = 0xD0AA + seed * 7919 + pidx as u64;
+                let mut rng = TallyRng {
+                    inner: StdRng::seed_from_u64(seed),
+                    words: 0,
+                };
+                let mut probe = CountingProbe::new();
+                probe.on_trial_begin(0);
+                let res = driver
+                    .run_typed_probed(&process, 0, MAX_STEPS, &mut rng, &mut probe)
+                    .expect("non-empty graph");
+                let totals = probe.totals();
+                assert_eq!(
+                    totals.draws, rng.words,
+                    "cycle {n}, k={k}, seed {seed:#x}: probe counted {} draws but the \
+                     RNG stream advanced {} words",
+                    totals.draws, rng.words
+                );
+                // Coverage deltas sum to n on a completed cover.
+                assert_eq!(res.covered, n);
+                assert_eq!(
+                    totals.covered as usize, n,
+                    "cycle {n}, k={k}, seed {seed:#x}: coverage deltas must sum to n"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn counting_probe_coverage_sums_to_n_across_parallel_trials() {
+    let n = 24usize;
+    let g = classic::cycle(n).unwrap();
+    let plan = TrialPlan::new(16, MAX_STEPS, 0xC0FE);
+    let (out, probes) = run_cover_trials_typed_probed(&g, &CobraWalk::standard(), 0, &plan, |_| {
+        CountingProbe::new()
+    });
+    assert_eq!(out.censored, 0, "trials must complete for the oracle");
+    assert_eq!(probes.len(), 16);
+    for (i, probe) in probes.iter().enumerate() {
+        let totals = probe.totals();
+        assert_eq!(probe.trials().len(), 1, "one counter block per trial");
+        assert_eq!(probe.trials()[0].trial, i as u64, "keyed by global index");
+        assert_eq!(
+            totals.covered as usize, n,
+            "trial {i}: coverage deltas must sum to n"
+        );
+        assert_eq!(
+            totals.merged,
+            totals.draws - totals.frontier_sum,
+            "trial {i}: merged must equal draws minus surviving frontier"
+        );
+    }
+}
+
+#[test]
+fn trace_probe_round_draws_equal_k_times_frontier() {
+    // Per round t: the k-cobra frontier S_t sends k·|S_t| pebbles, and
+    // the merged count is draws minus the coalesced frontier |S_{t+1}|.
+    // The trace's Round events carry exactly those numbers.
+    let g = classic::cycle(33).unwrap();
+    let driver = CoverDriver::new(&g);
+    for k in [2u32, 3] {
+        let process = CobraWalk::new(k);
+        let mut probe = TraceProbe::new(8192);
+        probe.on_trial_begin(0);
+        let mut rng = StdRng::seed_from_u64(0x7ACE);
+        driver
+            .run_typed_probed(&process, 0, MAX_STEPS, &mut rng, &mut probe)
+            .expect("non-empty graph");
+        let mut prev_frontier = 1u64; // the lone start vertex
+        let mut rounds_seen = 0usize;
+        for ev in probe.events() {
+            if let TraceEvent::Round {
+                frontier,
+                draws,
+                merged,
+                ..
+            } = *ev
+            {
+                assert_eq!(
+                    draws,
+                    u64::from(k) * prev_frontier,
+                    "k={k}: round draws must be k times the sending frontier"
+                );
+                assert_eq!(
+                    merged,
+                    draws - frontier,
+                    "k={k}: merged must be draws minus the surviving frontier"
+                );
+                prev_frontier = frontier;
+                rounds_seen += 1;
+            }
+        }
+        assert!(rounds_seen > 0, "trace recorded no rounds");
+    }
+}

@@ -11,9 +11,15 @@
 //! This file deliberately contains a single `#[test]` (integration test
 //! files run as their own process): the counter is global, so no other
 //! test may allocate concurrently while the steady-state window is open.
+//! The harness process itself can still allocate on another thread
+//! (libtest bookkeeping), so each steady window is retried up to three
+//! times and passes if *any* window is clean: engine allocations are
+//! deterministic (fixed seeds, reused scratch) and repeat in every
+//! window, while harness noise is transient.
 
 use cobra_repro::graph::generators::{classic, grid};
 use cobra_repro::graph::{Graph, NeighborSampler};
+use cobra_repro::obs::NoopProbe;
 use cobra_repro::walks::{
     CobraWalk, CoverDriver, HittingDriver, SimpleWalk, SisProcess, TrialScratch, TypedProcess,
     WaltProcess,
@@ -88,6 +94,37 @@ fn allocations_for<P: TypedProcess>(
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
+/// Same, through the explicitly probed scratch path with a `NoopProbe`
+/// — the route the unprobed entry points now delegate to. The probe
+/// seam's zero-cost claim includes zero allocations.
+fn allocations_for_probed<P: TypedProcess>(
+    g: &Graph,
+    process: &P,
+    sampler: &NeighborSampler,
+    scratch: &mut TrialScratch<P::State>,
+    trials: u64,
+    seed_base: u64,
+) -> usize {
+    let cover = CoverDriver::new(g);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed_base ^ i);
+        let res = cover
+            .run_typed_in_probed(
+                process,
+                sampler,
+                scratch,
+                0,
+                1_000_000,
+                &mut rng,
+                &mut NoopProbe,
+            )
+            .expect("non-empty graph");
+        std::hint::black_box(res.steps);
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
 #[test]
 fn steady_state_trials_do_not_allocate() {
     let graphs: Vec<(&str, Graph)> = vec![
@@ -106,9 +143,17 @@ fn steady_state_trials_do_not_allocate() {
                 // Warm-up: first trials build the state and grow every
                 // buffer to its steady-state capacity.
                 let warm = allocations_for(g, &process, &sampler, &mut scratch, target, 4, 0xC0B7A);
-                // Steady state: many more trials, zero allocations.
-                let steady =
-                    allocations_for(g, &process, &sampler, &mut scratch, target, 32, 0xFACADE);
+                // Steady state: many more trials, zero allocations. An
+                // identically-seeded retry filters out off-thread
+                // harness allocations (see the module doc).
+                let mut steady = usize::MAX;
+                for _ in 0..3 {
+                    steady =
+                        allocations_for(g, &process, &sampler, &mut scratch, target, 32, 0xFACADE);
+                    if steady == 0 {
+                        break;
+                    }
+                }
                 assert_eq!(
                     steady, 0,
                     "{} on {gname}: {steady} allocations in steady state (warm-up did {warm})",
@@ -122,5 +167,30 @@ fn steady_state_trials_do_not_allocate() {
         audit!("simple-rw", SimpleWalk::new());
         audit!("sis(2,0.8)", SisProcess::new(2, 0.8));
         audit!("walt(p=6)", WaltProcess::with_count(6).lazy(false));
+
+        macro_rules! audit_probed {
+            ($pname:literal, $process:expr) => {{
+                let process = $process;
+                let mut scratch = TrialScratch::new(g);
+                let warm = allocations_for_probed(g, &process, &sampler, &mut scratch, 4, 0xC0B7A);
+                let mut steady = usize::MAX;
+                for _ in 0..3 {
+                    steady =
+                        allocations_for_probed(g, &process, &sampler, &mut scratch, 32, 0xFACADE);
+                    if steady == 0 {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    steady, 0,
+                    "{} (NoopProbe route) on {gname}: {steady} allocations in steady state \
+                     (warm-up did {warm})",
+                    $pname
+                );
+            }};
+        }
+
+        audit_probed!("cobra(k=2)", CobraWalk::standard());
+        audit_probed!("walt(p=6)", WaltProcess::with_count(6).lazy(false));
     }
 }
